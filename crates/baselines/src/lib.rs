@@ -1,0 +1,25 @@
+//! Baseline comparators from the paper's related-work discussion.
+//!
+//! The paper's central performance claim is *comparative*: general-purpose
+//! V IPC file access costs about the same as specialized alternatives.
+//! This crate implements those alternatives so the claim can be measured
+//! rather than asserted:
+//!
+//! * [`wfs`] — a WFS/LOCUS-style **specialized page-level file access
+//!   protocol**: two raw datagrams per page, minimal processing. This is
+//!   the "problem-oriented" lower bound V IPC is compared against.
+//! * [`streaming`] — a **windowed streaming** file-read protocol with
+//!   client-side buffering, the conventional way to hide network latency
+//!   in sequential access (§6.2 argues it buys ≤ 15 %).
+//! * [`relay`] — the **process-level network server** architecture the
+//!   paper rejected in §3 ("a factor of four increase in the remote
+//!   message exchange time"): remote sends hop through user-level relay
+//!   processes instead of being handled in the kernel.
+//!
+//! The fourth comparison of §3 — IP encapsulation of interkernel packets
+//! (~20 % slower) — needs no code here: it is a kernel configuration
+//! (`Encapsulation::Ip` in `v-kernel`).
+
+pub mod relay;
+pub mod streaming;
+pub mod wfs;

@@ -1,0 +1,235 @@
+//! Criterion benches: one group per paper table/figure.
+//!
+//! Criterion measures the *simulator's* wall-clock throughput while it
+//! regenerates each experiment — the reproduced 1983 timings themselves
+//! are simulated time and live in the experiment outputs
+//! (`cargo run -p v-bench -- all`) and EXPERIMENTS.md. Keeping every
+//! table under `cargo bench` ensures the whole harness stays runnable
+//! and performance-tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
+use v_sim::SimDuration;
+use v_workloads::echo::{EchoServer, Pinger};
+use v_workloads::load::{LoadClient, LoadServer};
+use v_workloads::measure::probe;
+use v_workloads::mover::{Grantor, MoveDir, Mover};
+use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
+use v_workloads::penalty::measure_penalty;
+use v_workloads::seq::{SeqReadClient, SeqReadServer};
+
+fn pair(speed: CpuSpeed) -> Cluster {
+    Cluster::new(ClusterConfig::three_mb().with_hosts(2, speed))
+}
+
+fn bench_table_4_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_4_1_network_penalty");
+    g.sample_size(20);
+    g.bench_function("penalty_1024B_300_rounds", |b| {
+        b.iter(|| {
+            let mut cl = pair(CpuSpeed::Mc68000At8MHz);
+            let (ms, _) = measure_penalty(&mut cl, 1024, 300);
+            assert!(ms > 0.0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_5_kernel_ops");
+    g.sample_size(20);
+    g.bench_function("remote_srr_1000_exchanges", |b| {
+        b.iter(|| {
+            let mut cl = pair(CpuSpeed::Mc68000At8MHz);
+            let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+            let rep = probe(Default::default());
+            cl.spawn(HostId(0), "ping", Box::new(Pinger::new(server, 1000, rep.clone())));
+            cl.run();
+            assert!(rep.borrow().clean());
+        })
+    });
+    g.bench_function("remote_moveto_1024B_300_ops", |b| {
+        b.iter(|| {
+            let mut cl = pair(CpuSpeed::Mc68000At8MHz);
+            let rep = probe(Default::default());
+            let mover = cl.spawn(
+                HostId(0),
+                "mover",
+                Box::new(Mover::new(300, 1024, MoveDir::To, 0x5A, rep.clone())),
+            );
+            cl.spawn(
+                HostId(1),
+                "grantor",
+                Box::new(Grantor {
+                    mover,
+                    size: 1024,
+                    pattern: 0x5A,
+                    dir: MoveDir::To,
+                    report: rep.clone(),
+                }),
+            );
+            cl.run();
+            assert!(rep.borrow().clean());
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_6_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_6_1_page_access");
+    g.sample_size(20);
+    g.bench_function("remote_page_read_500_ops", |b| {
+        b.iter(|| {
+            let mut cl = pair(CpuSpeed::Mc68000At10MHz);
+            let rep = probe(Default::default());
+            let server = cl.spawn(
+                HostId(1),
+                "pageserver",
+                Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, rep.clone())),
+            );
+            cl.spawn(
+                HostId(0),
+                "client",
+                Box::new(PageClient::new(server, PageOp::Read, 512, 500, 0x7E, rep.clone())),
+            );
+            cl.run();
+            assert!(rep.borrow().clean());
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_6_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_6_2_sequential");
+    g.sample_size(20);
+    g.bench_function("seq_read_200_pages_disk15ms", |b| {
+        b.iter(|| {
+            let mut cl = pair(CpuSpeed::Mc68000At10MHz);
+            let rep = probe(Default::default());
+            let server = cl.spawn(
+                HostId(1),
+                "seq",
+                Box::new(SeqReadServer::new(
+                    512,
+                    SimDuration::from_millis(15),
+                    0x22,
+                    rep.clone(),
+                )),
+            );
+            cl.spawn(
+                HostId(0),
+                "reader",
+                Box::new(SeqReadClient::new(server, 512, 200, SimDuration::ZERO, rep.clone())),
+            );
+            cl.run();
+            assert!(rep.borrow().clean());
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_6_3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_6_3_program_loading");
+    g.sample_size(10);
+    g.bench_function("remote_64KB_load_16KB_units", |b| {
+        b.iter(|| {
+            let mut cl = pair(CpuSpeed::Mc68000At8MHz);
+            let rep = probe(Default::default());
+            let server = cl.spawn(
+                HostId(1),
+                "loadserver",
+                Box::new(LoadServer::new(65536, 16384, 0x42, rep.clone())),
+            );
+            cl.spawn(
+                HostId(0),
+                "loadclient",
+                Box::new(LoadClient::new(server, 65536, 5, 0x42, rep.clone())),
+            );
+            cl.run();
+            assert!(rep.borrow().clean());
+        })
+    });
+    g.finish();
+}
+
+fn bench_section_5_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("section_5_4_multipair");
+    g.sample_size(10);
+    g.bench_function("two_pairs_500_exchanges_bug_mode", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::three_mb().with_hosts(4, CpuSpeed::Mc68000At8MHz);
+            cfg.collision_bug = Some(v_net::CollisionBug::PAPER_3MB);
+            let mut cl = Cluster::new(cfg);
+            let res =
+                v_workloads::multipair::run_pairs(&mut cl, 2, 500, SimDuration::from_millis(1));
+            assert!(res.mean_per_op_ms > 0.0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_section_7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("section_7_fileserver");
+    g.sample_size(10);
+    g.bench_function("five_workstations_mixed_load", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::three_mb().with_hosts(6, CpuSpeed::Mc68000At10MHz);
+            let mut cl = Cluster::new(cfg);
+            let rep = probe(Default::default());
+            let server = cl.spawn(
+                HostId(0),
+                "server",
+                Box::new(v_workloads::mixed::CapacityServer::new(
+                    SimDuration::from_millis_f64(3.5),
+                    rep,
+                )),
+            );
+            for i in 0..5 {
+                cl.spawn(
+                    HostId(i + 1),
+                    "ws",
+                    Box::new(v_workloads::mixed::MixedClient::new(
+                        server,
+                        30,
+                        SimDuration::from_millis(300),
+                        i as u64 + 1,
+                        probe(Default::default()),
+                    )),
+                );
+            }
+            cl.run();
+        })
+    });
+    g.finish();
+}
+
+fn bench_section_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("section_8_ten_mb");
+    g.sample_size(20);
+    g.bench_function("ten_mb_remote_srr_1000", |b| {
+        b.iter(|| {
+            let mut cl =
+                Cluster::new(ClusterConfig::ten_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz));
+            let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+            let rep = probe(Default::default());
+            cl.spawn(HostId(0), "ping", Box::new(Pinger::new(server, 1000, rep.clone())));
+            cl.run();
+            assert!(rep.borrow().clean());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_4_1,
+    bench_table_5,
+    bench_table_6_1,
+    bench_table_6_2,
+    bench_table_6_3,
+    bench_section_5_4,
+    bench_section_7,
+    bench_section_8
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! One experiment per table/figure of the paper.
+//!
+//! Each function builds fresh clusters, runs the paper's measurement
+//! procedure, and returns a [`Comparison`](crate::report::Comparison) of
+//! published vs measured values. See DESIGN.md §4 for the experiment
+//! index.
+
+mod ablations;
+mod fileserver;
+mod multi;
+mod table_4_1;
+mod table_5;
+mod table_6_1;
+mod table_6_2;
+mod table_6_3;
+mod ten_mb;
+
+pub use ablations::{ip_encapsulation, netserver_relay, streaming_comparison, wfs_comparison};
+pub use fileserver::file_server_capacity;
+pub use multi::multi_process_traffic;
+pub use table_4_1::network_penalty;
+pub use table_5::kernel_performance;
+pub use table_6_1::page_access;
+pub use table_6_2::sequential_access;
+pub use table_6_3::program_loading;
+pub use ten_mb::ten_mb_ethernet;
+
+use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId, Pid, Program};
+use v_workloads::measure::{probe, CpuSnapshot, Probe, RunReport};
+
+/// Iterations used for fast message-exchange loops.
+pub(crate) const N_EXCHANGES: u64 = 1000;
+/// Iterations used for bulk-transfer loops.
+pub(crate) const N_MOVES: u64 = 300;
+/// Iterations used for page-access loops.
+pub(crate) const N_PAGES: u64 = 500;
+
+/// A measured operation: elapsed per op plus client/server CPU per op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Measured {
+    pub elapsed_ms: f64,
+    pub client_cpu_ms: f64,
+    pub server_cpu_ms: f64,
+}
+
+/// Runs `client` against an already-spawned-and-settled server setup.
+///
+/// `setup` spawns the server side into the cluster and returns the pid the
+/// client should talk to; the cluster is run to quiescence (servers
+/// blocked in `Receive`) before CPU snapshots are taken, so setup costs do
+/// not pollute the per-operation accounting.
+pub(crate) fn run_client_server(
+    mut cluster: Cluster,
+    server_host: HostId,
+    client_host: HostId,
+    setup: impl FnOnce(&mut Cluster) -> Pid,
+    client: impl FnOnce(Pid, Probe<RunReport>) -> Box<dyn Program>,
+) -> (Measured, RunReport) {
+    let server_pid = setup(&mut cluster);
+    cluster.run(); // let the server reach its Receive
+    let client_cpu = CpuSnapshot::take(&cluster, client_host);
+    let server_cpu = CpuSnapshot::take(&cluster, server_host);
+    let report = probe(RunReport::default());
+    cluster.spawn(client_host, "bench-client", client(server_pid, report.clone()));
+    cluster.run();
+    let r = report.borrow().clone();
+    assert!(
+        r.clean(),
+        "benchmark loop failed: {r:?} (server {server_pid})"
+    );
+    let ops = r.iterations;
+    let m = Measured {
+        elapsed_ms: r.per_op_ms(),
+        client_cpu_ms: client_cpu.per_op_ms(&cluster, ops),
+        server_cpu_ms: server_cpu.per_op_ms(&cluster, ops),
+    };
+    (m, r)
+}
+
+/// A 2-host cluster of the paper's main (3 Mb) configuration.
+pub(crate) fn pair_3mb(speed: CpuSpeed) -> Cluster {
+    Cluster::new(ClusterConfig::three_mb().with_hosts(2, speed))
+}
+
+/// A 2-host cluster on the 10 Mb standard Ethernet (§8).
+pub(crate) fn pair_10mb(speed: CpuSpeed) -> Cluster {
+    Cluster::new(ClusterConfig::ten_mb().with_hosts(2, speed))
+}

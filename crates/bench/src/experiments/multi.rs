@@ -1,0 +1,75 @@
+//! §5.4: multi-process traffic — concurrent pairs, the collision-bug
+//! degradation, offered load, and the server exchange ceiling.
+
+use v_kernel::{Cluster, ClusterConfig, CpuSpeed};
+use v_net::CollisionBug;
+
+use crate::paper;
+use crate::report::Comparison;
+
+use super::table_5::measure_srr;
+
+/// Exchanges per pair in the traffic experiments.
+const N: u64 = 2000;
+
+/// Reproduces the §5.4 observations.
+pub fn multi_process_traffic() -> Comparison {
+    let mut c = Comparison::new("Sec 5.4", "multi-process traffic, 8 MHz, 3 Mb Ethernet");
+
+    // Offered load of one maximum-speed pair.
+    let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
+    let mut cl = Cluster::new(cfg);
+    let one = v_workloads::multipair::run_pairs(&mut cl, 1, N, v_sim::SimDuration::ZERO);
+    c.push(
+        "one pair offered load",
+        paper::PAIR_OFFERED_LOAD_BPS,
+        one.offered_bits_per_sec,
+        "b/s",
+    );
+    c.push("one pair exchange time", 3.18, one.mean_per_op_ms, "ms");
+
+    // Two pairs, clean interfaces: minimal degradation.
+    let cfg = ClusterConfig::three_mb().with_hosts(4, CpuSpeed::Mc68000At8MHz);
+    let mut cl = Cluster::new(cfg);
+    let clean = v_workloads::multipair::run_pairs(&mut cl, 2, N, v_sim::SimDuration::from_millis(1));
+    c.push_ours("two pairs exchange time (fixed interface)", clean.mean_per_op_ms, "ms");
+
+    // Two pairs with the collision-detection hardware bug.
+    let mut cfg = ClusterConfig::three_mb().with_hosts(4, CpuSpeed::Mc68000At8MHz);
+    cfg.collision_bug = Some(CollisionBug::PAPER_3MB);
+    let mut cl = Cluster::new(cfg);
+    let buggy = v_workloads::multipair::run_pairs(&mut cl, 2, N, v_sim::SimDuration::from_millis(1));
+    c.push(
+        "two pairs exchange time (buggy interface)",
+        paper::MULTIPAIR_BUGGY_MS,
+        buggy.mean_per_op_ms,
+        "ms",
+    );
+    let corruption_rate = if buggy.frames == 0 {
+        0.0
+    } else {
+        buggy.bug_corruptions as f64 / buggy.frames as f64
+    };
+    c.push(
+        "bug corruption rate",
+        1.0 / 2000.0,
+        corruption_rate,
+        "per packet",
+    );
+    c.push_ours("retransmissions under the bug", buggy.retransmissions as f64, "count");
+
+    // Server-processor exchange ceiling (paper quotes the 10 MHz figure).
+    let srr10 = measure_srr(CpuSpeed::Mc68000At10MHz, true);
+    c.push(
+        "server exchange ceiling (10 MHz)",
+        paper::SERVER_EXCHANGE_CEILING,
+        1000.0 / srr10.server_cpu_ms,
+        "exchanges/s",
+    );
+
+    c.note("bug mode: deferred transmissions occasionally collide undetected and corrupt");
+    c.note("every exchange still completes exactly once via timeout + retransmission");
+    c.note("offered load counts payload bits; the paper's round 400 kb/s evidently includes");
+    c.note("link framing (the raw arithmetic 2 x 64 B / 3.18 ms gives ~322 kb/s)");
+    c
+}

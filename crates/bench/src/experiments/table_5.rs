@@ -1,0 +1,146 @@
+//! Tables 5-1 / 5-2: kernel IPC performance.
+
+use v_kernel::{CostModel, CpuSpeed, HostId};
+use v_net::NetParams;
+use v_workloads::echo::{EchoServer, GetTimeLooper, Pinger};
+use v_workloads::measure::probe;
+use v_workloads::mover::{Grantor, MoveDir, Mover};
+
+use crate::paper::{self, KernelPerfRow};
+use crate::report::Comparison;
+
+use super::{pair_3mb, run_client_server, Measured, N_EXCHANGES, N_MOVES};
+
+/// Measures the `GetTime` loop (local only).
+fn measure_gettime(speed: CpuSpeed) -> f64 {
+    let mut cl = pair_3mb(speed);
+    let rep = probe(Default::default());
+    cl.spawn(
+        HostId(0),
+        "gettime",
+        Box::new(GetTimeLooper {
+            n: N_EXCHANGES,
+            report: rep.clone(),
+        }),
+    );
+    cl.run();
+    let r = rep.borrow();
+    r.per_op_ms()
+}
+
+/// Measures a Send-Receive-Reply loop.
+pub(crate) fn measure_srr(speed: CpuSpeed, remote: bool) -> Measured {
+    let cl = pair_3mb(speed);
+    let server_host = HostId(if remote { 1 } else { 0 });
+    let (m, _) = run_client_server(
+        cl,
+        server_host,
+        HostId(0),
+        |cl| cl.spawn(server_host, "echo", Box::new(EchoServer)),
+        |server, rep| Box::new(Pinger::new(server, N_EXCHANGES, rep)),
+    );
+    m
+}
+
+/// Measures a standing-grant MoveTo/MoveFrom loop.
+///
+/// The mover (the active process, on host 0) is the "client"; the
+/// granting process's host is the "server".
+fn measure_move(speed: CpuSpeed, dir: MoveDir, remote: bool, size: u32) -> Measured {
+    let mut cl = pair_3mb(speed);
+    let grantor_host = HostId(if remote { 1 } else { 0 });
+    let rep = probe(Default::default());
+    let mover = cl.spawn(
+        HostId(0),
+        "mover",
+        Box::new(Mover::new(N_MOVES, size, dir, 0x5A, rep.clone())),
+    );
+    cl.run(); // mover blocks in Receive awaiting the grant
+    let client_cpu = v_workloads::measure::CpuSnapshot::take(&cl, HostId(0));
+    let server_cpu = v_workloads::measure::CpuSnapshot::take(&cl, grantor_host);
+    cl.spawn(
+        grantor_host,
+        "grantor",
+        Box::new(Grantor {
+            mover,
+            size,
+            pattern: 0x5A,
+            dir,
+            report: rep.clone(),
+        }),
+    );
+    cl.run();
+    let r = rep.borrow().clone();
+    assert!(r.clean(), "move loop failed: {r:?}");
+    Measured {
+        elapsed_ms: r.per_op_ms(),
+        client_cpu_ms: client_cpu.per_op_ms(&cl, r.iterations),
+        server_cpu_ms: server_cpu.per_op_ms(&cl, r.iterations),
+    }
+}
+
+/// Reproduces Table 5-1 (8 MHz) or Table 5-2 (10 MHz).
+pub fn kernel_performance(speed: CpuSpeed) -> Comparison {
+    let (id, rows): (&str, &[KernelPerfRow]) = match speed {
+        CpuSpeed::Mc68000At8MHz => ("Table 5-1", &paper::TABLE_5_1),
+        CpuSpeed::Mc68000At10MHz => ("Table 5-2", &paper::TABLE_5_2),
+    };
+    let mhz = match speed {
+        CpuSpeed::Mc68000At8MHz => 8,
+        CpuSpeed::Mc68000At10MHz => 10,
+    };
+    let mut c = Comparison::new(id, format!("kernel performance, {mhz} MHz, 3 Mb Ethernet"));
+
+    let model = CostModel::for_speed(speed);
+    let net = NetParams::for_kind(v_net::NetworkKind::Experimental3Mb);
+
+    for row in rows {
+        match row.op {
+            "GetTime" => {
+                let ms = measure_gettime(speed);
+                c.push("GetTime local", row.local, ms, "ms");
+            }
+            "Send-Receive-Reply" => {
+                let local = measure_srr(speed, false);
+                let remote = measure_srr(speed, true);
+                c.push("Send-Receive-Reply local", row.local, local.elapsed_ms, "ms");
+                c.push("Send-Receive-Reply remote", row.remote, remote.elapsed_ms, "ms");
+                // Two 64-byte datagrams per exchange.
+                let pen = 2.0 * model.network_penalty(&net, 64).as_millis_f64();
+                c.push("Send-Receive-Reply penalty", row.penalty, pen, "ms");
+                c.push(
+                    "Send-Receive-Reply client CPU",
+                    row.client,
+                    remote.client_cpu_ms,
+                    "ms",
+                );
+                c.push(
+                    "Send-Receive-Reply server CPU",
+                    row.server,
+                    remote.server_cpu_ms,
+                    "ms",
+                );
+            }
+            op @ ("MoveFrom 1024B" | "MoveTo 1024B") => {
+                let dir = if op.starts_with("MoveFrom") {
+                    MoveDir::From
+                } else {
+                    MoveDir::To
+                };
+                let local = measure_move(speed, dir, false, 1024);
+                let remote = measure_move(speed, dir, true, 1024);
+                c.push(format!("{op} local"), row.local, local.elapsed_ms, "ms");
+                c.push(format!("{op} remote"), row.remote, remote.elapsed_ms, "ms");
+                // 1024 bytes travel as two 576-byte data packets.
+                let pen = 2.0 * model.network_penalty(&net, 576).as_millis_f64();
+                c.push(format!("{op} penalty"), row.penalty, pen, "ms");
+                c.push(format!("{op} client CPU"), row.client, remote.client_cpu_ms, "ms");
+                c.push(format!("{op} server CPU"), row.server, remote.server_cpu_ms, "ms");
+            }
+            other => unreachable!("unknown op {other}"),
+        }
+    }
+    c.note("client = the active (sending/moving) process's host; server = its peer");
+    c.note("transfer penalty = 2 x P(576): 1024 bytes as two 512-byte-data packets");
+    c
+}

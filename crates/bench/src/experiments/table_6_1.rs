@@ -1,0 +1,85 @@
+//! Table 6-1: random page-level access, plus the §6.1 segment-vs-Thoth
+//! ablation.
+
+use v_kernel::{ClusterConfig, CostModel, Cluster, CpuSpeed, HostId};
+use v_net::NetParams;
+use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
+
+use crate::paper;
+use crate::report::Comparison;
+
+use super::{pair_3mb, run_client_server, Measured, N_PAGES};
+
+/// Measures a page read/write loop.
+pub(crate) fn measure_page(
+    speed: CpuSpeed,
+    op: PageOp,
+    mode: PageMode,
+    remote: bool,
+) -> Measured {
+    let cl = if mode == PageMode::Thoth {
+        // The unmodified kernel: no appended segments on Send.
+        let mut cfg = ClusterConfig::three_mb().with_hosts(2, speed);
+        cfg.protocol.max_appended_segment = 0;
+        Cluster::new(cfg)
+    } else {
+        pair_3mb(speed)
+    };
+    let server_host = HostId(if remote { 1 } else { 0 });
+    let (m, _) = run_client_server(
+        cl,
+        server_host,
+        HostId(0),
+        |cl| {
+            cl.spawn(
+                server_host,
+                "pageserver",
+                Box::new(PageServer::new(mode, 512, 0x7E, Default::default())),
+            )
+        },
+        |server, rep| Box::new(PageClient::new(server, op, 512, N_PAGES, 0x7E, rep)),
+    );
+    m
+}
+
+/// Reproduces Table 6-1 (10 MHz, 512-byte pages) and the Thoth-mode
+/// comparison of §6.1.
+pub fn page_access() -> Comparison {
+    let speed = CpuSpeed::Mc68000At10MHz;
+    let mut c = Comparison::new("Table 6-1", "random page-level access, 512 B, 10 MHz");
+    let model = CostModel::for_speed(speed);
+    let net = NetParams::for_kind(v_net::NetworkKind::Experimental3Mb);
+    // Request datagram (64 B) + reply-with-page datagram (576 B).
+    let pen = model.network_penalty(&net, 64).as_millis_f64()
+        + model.network_penalty(&net, 576).as_millis_f64();
+
+    for (row, op) in paper::TABLE_6_1.iter().zip([PageOp::Read, PageOp::Write]) {
+        let name = row.op;
+        let local = measure_page(speed, op, PageMode::Segment, false);
+        let remote = measure_page(speed, op, PageMode::Segment, true);
+        c.push(format!("{name} local"), row.local, local.elapsed_ms, "ms");
+        c.push(format!("{name} remote"), row.remote, remote.elapsed_ms, "ms");
+        c.push(format!("{name} penalty"), row.penalty, pen, "ms");
+        c.push(format!("{name} client CPU"), row.client, remote.client_cpu_ms, "ms");
+        c.push(format!("{name} server CPU"), row.server, remote.server_cpu_ms, "ms");
+    }
+
+    // §6.1: the basic Thoth way (Send-Receive-MoveFrom-Reply for writes).
+    let thoth_write = measure_page(speed, PageOp::Write, PageMode::Thoth, true);
+    c.push(
+        "Thoth-mode page write (MoveFrom)",
+        paper::THOTH_WRITE_512,
+        thoth_write.elapsed_ms,
+        "ms",
+    );
+    let seg_write = c.get("page write remote");
+    c.push(
+        "segment mechanism savings per write",
+        paper::SEGMENT_SAVINGS,
+        thoth_write.elapsed_ms - seg_write,
+        "ms",
+    );
+    c.note("read: Send/Receive/ReplyWithSegment; write: Send+seg/ReceiveWithSegment/Reply");
+    c.note("Thoth mode runs with appended segments disabled (the unmodified kernel)");
+    c
+}

@@ -1,0 +1,61 @@
+//! §8: preliminary measurements on the 10 Mb standard Ethernet
+//! (8 MHz processors, learned logical-host addressing).
+
+use v_kernel::{ClusterConfig, CpuSpeed, HostId};
+use v_workloads::echo::{EchoServer, Pinger};
+use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
+
+use crate::paper;
+use crate::report::Comparison;
+
+use super::table_6_3::measure_load;
+use super::{pair_10mb, run_client_server, N_EXCHANGES, N_PAGES};
+
+/// Reproduces the three §8 figures.
+pub fn ten_mb_ethernet() -> Comparison {
+    let speed = CpuSpeed::Mc68000At8MHz;
+    let mut c = Comparison::new("Sec 8", "10 Mb Ethernet, 8 MHz processors");
+
+    // Remote message exchange.
+    let (srr, _) = run_client_server(
+        pair_10mb(speed),
+        HostId(1),
+        HostId(0),
+        |cl| cl.spawn(HostId(1), "echo", Box::new(EchoServer)),
+        |server, rep| Box::new(Pinger::new(server, N_EXCHANGES, rep)),
+    );
+    c.push("remote exchange", paper::TEN_MB_SRR_MS, srr.elapsed_ms, "ms");
+
+    // Remote page read.
+    let (page, _) = run_client_server(
+        pair_10mb(speed),
+        HostId(1),
+        HostId(0),
+        |cl| {
+            cl.spawn(
+                HostId(1),
+                "pageserver",
+                Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, Default::default())),
+            )
+        },
+        |server, rep| {
+            Box::new(PageClient::new(server, PageOp::Read, 512, N_PAGES, 0x7E, rep))
+        },
+    );
+    c.push("page read", paper::TEN_MB_PAGE_READ_MS, page.elapsed_ms, "ms");
+
+    // 64 KB load with 16 KB transfer units.
+    let cfg = ClusterConfig::ten_mb().with_hosts(2, speed);
+    let load = measure_load(cfg, 16384, true);
+    c.push(
+        "64 KB load, 16 KB units",
+        paper::TEN_MB_LOAD_64K_MS,
+        load.elapsed_ms,
+        "ms",
+    );
+
+    c.note("uses learned (table + broadcast fallback) logical-host addressing, as the paper");
+    c.note("the paper could not separate network-speed from interface improvements; we model");
+    c.note("only the wire-speed change, so expect a few percent pessimism vs the paper");
+    c
+}

@@ -1,0 +1,11 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] builds a fresh simulated cluster,
+//! runs the paper's workload, and returns a [`report::Comparison`] whose
+//! rows pair the paper's published value with the reproduction's measured
+//! value. The `v-bench` binary prints them; `tests/calibration.rs` pins
+//! them with tolerances so the cost model cannot silently drift.
+
+pub mod experiments;
+pub mod paper;
+pub mod report;

@@ -1,0 +1,54 @@
+//! `v-bench` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming]...
+//! ```
+
+use v_bench::experiments as exp;
+use v_kernel::CpuSpeed;
+
+fn run(id: &str) -> bool {
+    let c = match id {
+        "4-1" => exp::network_penalty(),
+        "5-1" => exp::kernel_performance(CpuSpeed::Mc68000At8MHz),
+        "5-2" => exp::kernel_performance(CpuSpeed::Mc68000At10MHz),
+        "5-4" => exp::multi_process_traffic(),
+        "6-1" => exp::page_access(),
+        "6-2" => exp::sequential_access(),
+        "6-3" => exp::program_loading(),
+        "7" => exp::file_server_capacity(),
+        "8" => exp::ten_mb_ethernet(),
+        "ip" => exp::ip_encapsulation(),
+        "relay" => exp::netserver_relay(),
+        "wfs" => exp::wfs_comparison(),
+        "streaming" => exp::streaming_comparison(),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return false;
+        }
+    };
+    println!("{c}");
+    true
+}
+
+const ALL: [&str; 13] = [
+    "4-1", "5-1", "5-2", "5-4", "6-1", "6-2", "6-3", "7", "8", "ip", "relay", "wfs",
+    "streaming",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ok = true;
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        for id in ALL {
+            ok &= run(id);
+        }
+    } else {
+        for a in &args {
+            ok &= run(a);
+        }
+    }
+    if !ok {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Paper-vs-measured comparison tables.
+
+use std::fmt;
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// What is being compared (e.g. "Send-Receive-Reply remote").
+    pub metric: String,
+    /// The paper's published value (`None` for quantities the paper does
+    /// not report, e.g. multi-packet penalties).
+    pub paper: Option<f64>,
+    /// The reproduction's measured value.
+    pub ours: f64,
+    /// Unit label.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Builds a compared row.
+    pub fn new(metric: impl Into<String>, paper: f64, ours: f64, unit: &'static str) -> Row {
+        Row {
+            metric: metric.into(),
+            paper: Some(paper),
+            ours,
+            unit,
+        }
+    }
+
+    /// Builds a measurement-only row.
+    pub fn ours_only(metric: impl Into<String>, ours: f64, unit: &'static str) -> Row {
+        Row {
+            metric: metric.into(),
+            paper: None,
+            ours,
+            unit,
+        }
+    }
+
+    /// Relative deviation from the paper value, if comparable.
+    pub fn deviation(&self) -> Option<f64> {
+        let p = self.paper?;
+        if p == 0.0 {
+            return None;
+        }
+        Some((self.ours - p) / p)
+    }
+}
+
+/// A titled comparison between a paper table and the reproduction.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Experiment id, e.g. "Table 5-1".
+    pub id: String,
+    /// Descriptive title.
+    pub title: String,
+    /// Compared rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (substitutions, interpretation caveats).
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// Creates an empty comparison.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Comparison {
+        Comparison {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a compared row.
+    pub fn push(&mut self, metric: impl Into<String>, paper: f64, ours: f64, unit: &'static str) {
+        self.rows.push(Row::new(metric, paper, ours, unit));
+    }
+
+    /// Adds a measurement-only row.
+    pub fn push_ours(&mut self, metric: impl Into<String>, ours: f64, unit: &'static str) {
+        self.rows.push(Row::ours_only(metric, ours, unit));
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Largest absolute relative deviation across comparable rows.
+    pub fn worst_deviation(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.deviation())
+            .map(f64::abs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Looks up a row's measured value by metric name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row has that metric (a test-harness usage error).
+    pub fn get(&self, metric: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.metric == metric)
+            .unwrap_or_else(|| panic!("no row named {metric:?} in {}", self.id))
+            .ours
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(
+            f,
+            "{:<44} {:>10} {:>10} {:>8}  {}",
+            "metric", "paper", "ours", "delta", "unit"
+        )?;
+        for r in &self.rows {
+            let paper = match r.paper {
+                Some(p) => format!("{p:.2}"),
+                None => "-".to_string(),
+            };
+            let delta = match r.deviation() {
+                Some(d) => format!("{:+.1}%", d * 100.0),
+                None => "-".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<44} {:>10} {:>10.2} {:>8}  {}",
+                r.metric, paper, r.ours, delta, r.unit
+            )?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_math() {
+        let r = Row::new("x", 2.0, 2.2, "ms");
+        assert!((r.deviation().unwrap() - 0.1).abs() < 1e-9);
+        assert_eq!(Row::ours_only("y", 1.0, "ms").deviation(), None);
+    }
+
+    #[test]
+    fn worst_deviation_and_get() {
+        let mut c = Comparison::new("T", "test");
+        c.push("a", 1.0, 1.05, "ms");
+        c.push("b", 2.0, 1.6, "ms");
+        c.push_ours("c", 9.0, "ms");
+        assert!((c.worst_deviation() - 0.2).abs() < 1e-9);
+        assert_eq!(c.get("c"), 9.0);
+    }
+
+    #[test]
+    fn renders_without_panicking() {
+        let mut c = Comparison::new("Table X", "demo");
+        c.push("metric", 1.0, 1.1, "ms");
+        c.note("a note");
+        let s = c.to_string();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("+10.0%"));
+        assert!(s.contains("a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no row named")]
+    fn get_missing_row_panics() {
+        Comparison::new("T", "t").get("missing");
+    }
+}

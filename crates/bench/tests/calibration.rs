@@ -1,0 +1,155 @@
+//! Calibration pins: every reproduced table entry must stay within
+//! tolerance of the paper's published value. These tolerances encode the
+//! fidelity actually achieved (documented in EXPERIMENTS.md); tightening
+//! the cost model should never loosen them.
+
+use v_bench::experiments as exp;
+use v_bench::report::Comparison;
+use v_kernel::CpuSpeed;
+
+/// Asserts a comparison row is within `tol` (fractional) of the paper.
+fn pin(c: &Comparison, metric: &str, paper: f64, tol: f64) {
+    let ours = c.get(metric);
+    let dev = (ours - paper).abs() / paper.abs();
+    assert!(
+        dev <= tol,
+        "{} / {metric}: ours {ours:.3} vs paper {paper:.3} ({:+.1}% > ±{:.0}%)",
+        c.id,
+        (ours - paper) / paper * 100.0,
+        tol * 100.0
+    );
+}
+
+#[test]
+fn table_4_1_network_penalty() {
+    let c = exp::network_penalty();
+    for (bytes, p8, p10) in v_bench::paper::TABLE_4_1 {
+        pin(&c, &format!("{bytes} bytes, 8 MHz"), p8, 0.05);
+        pin(&c, &format!("{bytes} bytes, 10 MHz"), p10, 0.06);
+    }
+}
+
+#[test]
+fn table_5_1_kernel_performance_8mhz() {
+    let c = exp::kernel_performance(CpuSpeed::Mc68000At8MHz);
+    pin(&c, "GetTime local", 0.07, 0.02);
+    pin(&c, "Send-Receive-Reply local", 1.00, 0.03);
+    pin(&c, "Send-Receive-Reply remote", 3.18, 0.05);
+    pin(&c, "Send-Receive-Reply penalty", 1.60, 0.03);
+    pin(&c, "Send-Receive-Reply client CPU", 1.79, 0.10);
+    pin(&c, "Send-Receive-Reply server CPU", 2.30, 0.10);
+    pin(&c, "MoveTo 1024B local", 1.26, 0.05);
+    pin(&c, "MoveTo 1024B remote", 9.05, 0.10);
+    pin(&c, "MoveFrom 1024B local", 1.26, 0.05);
+    pin(&c, "MoveFrom 1024B remote", 9.03, 0.10);
+    pin(&c, "MoveTo 1024B penalty", 8.15, 0.03);
+    // CPU attribution for transfers deviates further (the paper does not
+    // document its measurement loop); keep a wide honest bound.
+    pin(&c, "MoveTo 1024B client CPU", 3.59, 0.25);
+    pin(&c, "MoveTo 1024B server CPU", 5.87, 0.45);
+}
+
+#[test]
+fn table_5_2_kernel_performance_10mhz() {
+    let c = exp::kernel_performance(CpuSpeed::Mc68000At10MHz);
+    pin(&c, "GetTime local", 0.06, 0.02);
+    pin(&c, "Send-Receive-Reply local", 0.77, 0.03);
+    pin(&c, "Send-Receive-Reply remote", 2.54, 0.05);
+    pin(&c, "Send-Receive-Reply client CPU", 1.44, 0.10);
+    pin(&c, "Send-Receive-Reply server CPU", 1.79, 0.10);
+    pin(&c, "MoveTo 1024B local", 0.95, 0.05);
+    pin(&c, "MoveTo 1024B remote", 8.00, 0.10);
+    pin(&c, "MoveFrom 1024B remote", 8.00, 0.10);
+}
+
+#[test]
+fn table_6_1_page_access() {
+    let c = exp::page_access();
+    pin(&c, "page read local", 1.31, 0.05);
+    pin(&c, "page read remote", 5.56, 0.06);
+    pin(&c, "page write remote", 5.60, 0.06);
+    pin(&c, "page read client CPU", 2.50, 0.20);
+    pin(&c, "page read server CPU", 3.28, 0.25);
+    pin(&c, "Thoth-mode page write (MoveFrom)", 8.10, 0.10);
+}
+
+#[test]
+fn table_6_2_sequential_access() {
+    let c = exp::sequential_access();
+    for (disk, paper) in v_bench::paper::TABLE_6_2 {
+        pin(&c, &format!("disk latency {disk} ms"), paper, 0.08);
+    }
+}
+
+#[test]
+fn table_6_3_program_loading() {
+    let c = exp::program_loading();
+    for (unit, local, remote, _, _) in v_bench::paper::TABLE_6_3 {
+        let kb = unit / 1024;
+        let tol_local = if unit == 1024 { 0.16 } else { 0.05 };
+        pin(&c, &format!("{kb} KB units, local"), local, tol_local);
+        pin(&c, &format!("{kb} KB units, remote"), remote, 0.11);
+    }
+    pin(&c, "data rate, 64 KB units", 192.0, 0.10);
+}
+
+#[test]
+fn section_5_4_multi_process_traffic() {
+    let c = exp::multi_process_traffic();
+    pin(&c, "one pair exchange time", 3.18, 0.05);
+    pin(&c, "two pairs exchange time (buggy interface)", 3.4, 0.06);
+    pin(&c, "server exchange ceiling (10 MHz)", 558.0, 0.06);
+}
+
+#[test]
+fn section_8_ten_mb_ethernet() {
+    let c = exp::ten_mb_ethernet();
+    pin(&c, "remote exchange", 2.71, 0.12);
+    pin(&c, "page read", 5.72, 0.06);
+    pin(&c, "64 KB load, 16 KB units", 255.0, 0.12);
+}
+
+#[test]
+fn section_3_ablations() {
+    let ip = exp::ip_encapsulation();
+    pin(&ip, "IP overhead", 20.0, 0.35);
+    let relay = exp::netserver_relay();
+    pin(&relay, "slowdown factor", 4.0, 0.15);
+}
+
+#[test]
+fn section_6_comparators() {
+    let wfs = exp::wfs_comparison();
+    // V IPC must sit within ~2 ms of the specialized protocol (which
+    // legitimately runs leaner 12-byte headers, so it even undercuts the
+    // 64/576-byte penalty figure slightly).
+    let gap = wfs.get("V IPC overhead vs specialized");
+    assert!((0.0..2.1).contains(&gap), "V IPC vs WFS gap {gap:.2} ms");
+
+    let streaming = exp::streaming_comparison();
+    for disk in [10u64, 15, 20] {
+        let gain = streaming.get(&format!("streaming gain, disk {disk} ms"));
+        assert!(
+            (0.0..15.0).contains(&gain),
+            "disk {disk}: streaming gain {gain:.1}% outside the paper's bound"
+        );
+    }
+}
+
+#[test]
+fn section_7_capacity() {
+    let c = exp::file_server_capacity();
+    pin(&c, "page request CPU (kernel + fs)", 7.0, 0.15);
+    // The mix and ceiling inherit the known transfer server-CPU gap
+    // (see EXPERIMENTS.md); bounds are wide but still catch regressions.
+    pin(&c, "90/10 mix average CPU", 36.0, 0.40);
+    pin(&c, "requests/second (estimate)", 28.0, 0.60);
+    // Simulated capacity: 10 workstations tolerable, 30 degrading hard.
+    // Absolute latencies include head-of-line blocking behind 64 KB
+    // loads, which the paper's CPU-budget estimate ignores entirely —
+    // a reproduction finding recorded in EXPERIMENTS.md.
+    let page10 = c.get("10 workstations: page response");
+    assert!(page10 < 150.0, "10-ws page response {page10:.1} ms");
+    let knee = c.get("degradation knee (30 ws vs 10 ws response)");
+    assert!(knee > 3.0, "no saturation knee: {knee:.1}x");
+}

@@ -1,0 +1,212 @@
+//! Cluster and protocol configuration.
+
+use v_net::{CollisionBug, FaultPlan, NetworkKind};
+use v_sim::SimDuration;
+
+use crate::cpu::CpuSpeed;
+use crate::hostmap::AddressingMode;
+use crate::pid::LogicalHost;
+
+/// Optional IP encapsulation of interkernel packets (§3 of the paper
+/// measured ~20 % slowdown from an IP layer, "even without computing the
+/// IP header checksum and with only the simplest routing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encapsulation {
+    /// Raw data-link level (the kernel's choice).
+    Raw,
+    /// Internet (IP) headers on every interkernel packet.
+    Ip,
+}
+
+impl Encapsulation {
+    /// Extra header bytes per packet.
+    pub fn extra_bytes(self) -> usize {
+        match self {
+            Encapsulation::Raw => 0,
+            Encapsulation::Ip => 20,
+        }
+    }
+
+    /// Extra fixed processor cost to build the encapsulation header.
+    pub fn extra_tx_cost(self) -> SimDuration {
+        match self {
+            Encapsulation::Raw => SimDuration::ZERO,
+            Encapsulation::Ip => SimDuration::from_micros(100),
+        }
+    }
+
+    /// Extra fixed processor cost to parse and route the header.
+    pub fn extra_rx_cost(self) -> SimDuration {
+        match self {
+            Encapsulation::Raw => SimDuration::ZERO,
+            Encapsulation::Ip => SimDuration::from_micros(120),
+        }
+    }
+}
+
+/// Interkernel protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Retransmission timeout `T` for message exchanges.
+    pub retransmit_timeout: SimDuration,
+    /// Retransmission budget `N`: a Send fails after `N` retransmissions
+    /// with neither reply nor reply-pending.
+    pub max_retries: u32,
+    /// Largest data payload per packet for bulk transfer and appended
+    /// segments ("maximally-sized packets").
+    pub max_data_per_packet: usize,
+    /// Cap on the segment prefix appended to a Send packet; the paper
+    /// sets it "at least as large as a file block" so a one-block write is
+    /// a single two-packet exchange.
+    pub max_appended_segment: usize,
+    /// Alien descriptor pool size per kernel.
+    pub alien_pool: usize,
+    /// How long replied aliens retain cached replies.
+    pub alien_keep: SimDuration,
+    /// Stall timeout for bulk transfers (no in-order progress → resume
+    /// from the last acknowledged offset).
+    pub transfer_timeout: SimDuration,
+    /// Retries for a stalled transfer before it fails.
+    pub transfer_retries: u32,
+    /// Timeout awaiting answers to a broadcast `GetPid`.
+    pub getpid_timeout: SimDuration,
+    /// Broadcast retries for `GetPid` before returning "no such id".
+    pub getpid_retries: u32,
+    /// Interval of the kernel's housekeeping sweep (alien/transfer
+    /// garbage collection).
+    pub housekeeping: SimDuration,
+    /// Packet encapsulation.
+    pub encapsulation: Encapsulation,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            retransmit_timeout: SimDuration::from_millis(200),
+            max_retries: 5,
+            max_data_per_packet: 512,
+            max_appended_segment: 512,
+            alien_pool: 16,
+            alien_keep: SimDuration::from_millis(2000),
+            transfer_timeout: SimDuration::from_millis(200),
+            transfer_retries: 5,
+            getpid_timeout: SimDuration::from_millis(100),
+            getpid_retries: 3,
+            housekeeping: SimDuration::from_millis(1000),
+            encapsulation: Encapsulation::Raw,
+        }
+    }
+}
+
+/// Per-host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Processor grade.
+    pub cpu: CpuSpeed,
+    /// Logical host identifier; `None` assigns one from the station
+    /// address by the 3 Mb convention.
+    pub logical_host: Option<LogicalHost>,
+}
+
+impl HostConfig {
+    /// A host with the given CPU and an auto-assigned logical host id.
+    pub fn new(cpu: CpuSpeed) -> HostConfig {
+        HostConfig {
+            cpu,
+            logical_host: None,
+        }
+    }
+}
+
+/// Whole-cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Which physical network to simulate.
+    pub network: NetworkKind,
+    /// pid → station addressing scheme.
+    pub addressing: AddressingMode,
+    /// The workstations, in station-address order (station `i + 1`).
+    pub hosts: Vec<HostConfig>,
+    /// Protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// Medium fault injection.
+    pub faults: FaultPlan,
+    /// The §5.4 collision-detection hardware bug.
+    pub collision_bug: Option<CollisionBug>,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster on the 3 Mb experimental Ethernet with direct addressing
+    /// — the paper's main configuration.
+    pub fn three_mb() -> ClusterConfig {
+        ClusterConfig {
+            network: NetworkKind::Experimental3Mb,
+            addressing: AddressingMode::Direct,
+            hosts: Vec::new(),
+            protocol: ProtocolConfig::default(),
+            faults: FaultPlan::NONE,
+            collision_bug: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A cluster on the 10 Mb standard Ethernet with learned addressing
+    /// (§8's configuration).
+    pub fn ten_mb() -> ClusterConfig {
+        ClusterConfig {
+            network: NetworkKind::Standard10Mb,
+            addressing: AddressingMode::Learned,
+            ..ClusterConfig::three_mb()
+        }
+    }
+
+    /// Adds a host; returns `self` for chaining.
+    pub fn with_host(mut self, cpu: CpuSpeed) -> Self {
+        self.hosts.push(HostConfig::new(cpu));
+        self
+    }
+
+    /// Adds `n` identical hosts.
+    pub fn with_hosts(mut self, n: usize, cpu: CpuSpeed) -> Self {
+        for _ in 0..n {
+            self.hosts.push(HostConfig::new(cpu));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = ProtocolConfig::default();
+        assert!(p.max_retries > 0);
+        assert!(p.max_data_per_packet >= 512);
+        assert!(p.alien_pool > 0);
+        assert_eq!(p.encapsulation, Encapsulation::Raw);
+    }
+
+    #[test]
+    fn builders_accumulate_hosts() {
+        let cfg = ClusterConfig::three_mb()
+            .with_host(CpuSpeed::Mc68000At8MHz)
+            .with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        assert_eq!(cfg.hosts.len(), 3);
+        assert_eq!(cfg.addressing, AddressingMode::Direct);
+        let cfg10 = ClusterConfig::ten_mb();
+        assert_eq!(cfg10.addressing, AddressingMode::Learned);
+        assert_eq!(cfg10.network, NetworkKind::Standard10Mb);
+    }
+
+    #[test]
+    fn ip_encapsulation_adds_costs() {
+        assert_eq!(Encapsulation::Raw.extra_bytes(), 0);
+        assert!(Encapsulation::Ip.extra_bytes() > 0);
+        assert!(Encapsulation::Ip.extra_tx_cost() > SimDuration::ZERO);
+        assert!(Encapsulation::Ip.extra_rx_cost() > SimDuration::ZERO);
+    }
+}

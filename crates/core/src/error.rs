@@ -1,0 +1,56 @@
+//! Kernel error codes.
+
+use std::fmt;
+
+/// Errors surfaced to processes by kernel primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelError {
+    /// The addressed process does not exist (locally verified, or a
+    /// negative acknowledgement arrived from the remote kernel).
+    NonexistentProcess,
+    /// A remote operation was retransmitted `N` times without any reply,
+    /// reply-pending, or progress; the remote host is presumed down.
+    Timeout,
+    /// A data-transfer or segment operation was attempted outside the
+    /// segment access the message conventions granted.
+    NoSegmentAccess,
+    /// An address range fell outside the target address space.
+    BadAddress,
+    /// `Reply` was issued to a process that is not awaiting reply from the
+    /// replier.
+    NotAwaitingReply,
+    /// `MoveTo`/`MoveFrom` addressed a process that is not awaiting reply
+    /// from the active process.
+    NotBlocked,
+    /// The remote kernel rejected a transfer (grant violation or unknown
+    /// transfer at its end).
+    TransferRejected,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelError::NonexistentProcess => "nonexistent process",
+            KernelError::Timeout => "operation timed out after N retransmissions",
+            KernelError::NoSegmentAccess => "segment access not granted",
+            KernelError::BadAddress => "address out of range",
+            KernelError::NotAwaitingReply => "process not awaiting reply",
+            KernelError::NotBlocked => "process not blocked on the active process",
+            KernelError::TransferRejected => "remote kernel rejected the transfer",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(KernelError::Timeout.to_string().contains("retransmissions"));
+        assert!(KernelError::NoSegmentAccess.to_string().contains("segment"));
+    }
+}

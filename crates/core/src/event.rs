@@ -1,0 +1,109 @@
+//! Cluster event vocabulary.
+
+use v_net::Frame;
+
+use crate::pid::Pid;
+use crate::program::Outcome;
+
+/// Index of a host within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Identifies an outbound data stream being paced chunk-by-chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKey {
+    /// A `MoveTo` in progress, keyed by the mover's local uid.
+    Move {
+        /// Mover's local uid.
+        mover: u16,
+    },
+    /// A `MoveFrom` service stream (this kernel is the data source),
+    /// keyed by requester pid and transfer sequence number.
+    Serve {
+        /// Requesting process (raw pid).
+        requester: u32,
+        /// Transfer sequence number.
+        seq: u32,
+    },
+}
+
+/// Kernel timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Message-exchange retransmission timer.
+    Retransmit {
+        /// The blocked sender.
+        pid: Pid,
+        /// Exchange sequence number the timer guards.
+        seq: u32,
+    },
+    /// Bulk-transfer stall timer.
+    TransferStall {
+        /// The blocked mover / requester.
+        pid: Pid,
+        /// Transfer instance this timer guards (its sequence number);
+        /// timers outlive transfers, so the match must be explicit.
+        seq: u32,
+        /// Progress marker at the time the timer was set; the timer is
+        /// stale if progress has been made since.
+        marker: u32,
+    },
+    /// Broadcast `GetPid` response timeout.
+    GetPid {
+        /// The blocked querier.
+        pid: Pid,
+        /// Logical id being resolved.
+        logical_id: u32,
+    },
+    /// Periodic alien / transfer-state garbage collection.
+    Housekeeping,
+    /// A timer requested by a raw protocol handler (baselines).
+    Raw {
+        /// Handler's ethertype discriminator value.
+        ethertype: u16,
+        /// Handler-chosen token.
+        token: u64,
+    },
+}
+
+/// Events driving the cluster.
+#[derive(Debug)]
+pub enum Event {
+    /// Resume a process with a completed operation.
+    Resume {
+        /// Host the process lives on.
+        host: HostId,
+        /// The process.
+        pid: Pid,
+        /// What completed.
+        outcome: Outcome,
+    },
+    /// A frame finished arriving at a host's interface.
+    Frame {
+        /// Receiving host.
+        host: HostId,
+        /// The frame (payload possibly corrupted in flight).
+        frame: Frame,
+    },
+    /// A kernel timer fired.
+    Timer {
+        /// Host whose timer fired.
+        host: HostId,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// The next chunk of an outbound data stream may be transmitted
+    /// (previous frame left the single-buffered interface).
+    ChunkReady {
+        /// Host doing the streaming.
+        host: HostId,
+        /// Which stream.
+        key: StreamKey,
+    },
+}

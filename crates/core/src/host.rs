@@ -1,0 +1,177 @@
+//! Per-host kernel state.
+
+use std::collections::HashMap;
+
+use v_net::{EtherType, Nic};
+use v_sim::SimTime;
+
+use crate::aliens::AlienTable;
+use crate::cpu::Cpu;
+use crate::costs::CostModel;
+use crate::event::HostId;
+use crate::hostmap::HostMap;
+use crate::naming::NameTable;
+use crate::pcb::Pcb;
+use crate::pid::{LogicalHost, Pid};
+use crate::raw::RawHandler;
+use crate::stats::KernelStats;
+
+/// State of an outbound `MoveTo` (this host is the mover).
+#[derive(Debug)]
+pub struct OutMove {
+    /// Transfer sequence number.
+    pub seq: u32,
+    /// Destination (granting) process on the remote host.
+    pub dest_pid: Pid,
+    /// Destination address in the remote process's space.
+    pub dest_addr: u32,
+    /// Source address in the mover's space.
+    pub src_addr: u32,
+    /// Total bytes to move.
+    pub total: u32,
+    /// Offset of the next chunk to transmit.
+    pub next_off: u32,
+    /// Last offset known received (resume point on timeout).
+    pub acked_base: u32,
+    /// Stall retries remaining.
+    pub retries_left: u32,
+    /// True once all chunks are out and the completion ack is awaited.
+    pub awaiting_ack: bool,
+    /// Stall-marker snapshot for timer staleness detection.
+    pub marker: u32,
+}
+
+/// State of an inbound `MoveTo` (this host holds the granting process).
+#[derive(Debug)]
+pub struct InMove {
+    /// The local process whose segment is being written.
+    pub dest_pid: Pid,
+    /// Next in-order offset expected.
+    pub expected: u32,
+    /// Total bytes in the transfer.
+    pub total: u32,
+    /// Completed (tombstone kept to re-ack duplicate chunks).
+    pub complete: bool,
+    /// Last activity (for housekeeping expiry).
+    pub last_seen: SimTime,
+}
+
+/// State of an outbound `MoveFrom` request (this host is the requester
+/// copying data *in*).
+#[derive(Debug)]
+pub struct InFetch {
+    /// Transfer sequence number.
+    pub seq: u32,
+    /// The remote (granting) process the data comes from.
+    pub src_pid: Pid,
+    /// Source address in the remote process's space.
+    pub src_addr: u32,
+    /// Destination address in the requester's space.
+    pub dest_addr: u32,
+    /// Total bytes requested.
+    pub total: u32,
+    /// Next in-order offset expected.
+    pub expected: u32,
+    /// Stall retries remaining.
+    pub retries_left: u32,
+    /// Stall-marker snapshot for timer staleness detection.
+    pub marker: u32,
+}
+
+/// State of a `MoveFrom` service stream (this host holds the granting
+/// process and streams data out).
+#[derive(Debug)]
+pub struct OutServe {
+    /// The requesting process (on the remote host).
+    pub requester: Pid,
+    /// Transfer sequence number (the requester's).
+    pub seq: u32,
+    /// The local granting process.
+    pub grantor: Pid,
+    /// Source address in the grantor's space.
+    pub src_addr: u32,
+    /// Offset of the next chunk to transmit.
+    pub next_off: u32,
+    /// Total bytes to stream.
+    pub total: u32,
+}
+
+/// A workstation: one processor, one network interface, one kernel.
+pub struct Host {
+    /// This host's index in the cluster.
+    pub id: HostId,
+    /// This host's logical host identifier.
+    pub logical: LogicalHost,
+    /// The processor.
+    pub cpu: Cpu,
+    /// Calibrated cost constants for this processor.
+    pub costs: CostModel,
+    /// The network interface.
+    pub nic: Nic,
+    /// Local processes, keyed by the local-uid subfield.
+    pub procs: HashMap<u16, Pcb>,
+    /// Next local uid to try.
+    pub next_uid: u16,
+    /// Alien descriptors.
+    pub aliens: AlienTable,
+    /// Logical-id registrations.
+    pub names: NameTable,
+    /// Logical host → station mapping.
+    pub hostmap: HostMap,
+    /// Outbound `MoveTo` transfers, keyed by mover local uid.
+    pub out_moves: HashMap<u16, OutMove>,
+    /// Inbound `MoveTo` transfers, keyed by (mover raw pid, seq).
+    pub in_moves: HashMap<(u32, u32), InMove>,
+    /// Outstanding `MoveFrom` requests, keyed by requester local uid.
+    pub in_fetches: HashMap<u16, InFetch>,
+    /// `MoveFrom` service streams, keyed by (requester raw pid, seq).
+    pub out_serves: HashMap<(u32, u32), OutServe>,
+    /// Raw protocol handlers by ethertype.
+    pub raw: HashMap<u16, Box<dyn RawHandler>>,
+    /// Protocol counters.
+    pub stats: KernelStats,
+}
+
+impl Host {
+    /// Fetches a local process by pid (must belong to this host).
+    pub fn proc(&self, pid: Pid) -> Option<&Pcb> {
+        self.procs.get(&pid.local())
+    }
+
+    /// Mutable process lookup.
+    pub fn proc_mut(&mut self, pid: Pid) -> Option<&mut Pcb> {
+        self.procs.get_mut(&pid.local())
+    }
+
+    /// Allocates an unused local uid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all 65535 uids are in use (not a realistic workload).
+    pub fn alloc_uid(&mut self) -> u16 {
+        for _ in 0..=u16::MAX {
+            let uid = self.next_uid;
+            self.next_uid = self.next_uid.wrapping_add(1);
+            if uid != 0 && !self.procs.contains_key(&uid) {
+                return uid;
+            }
+        }
+        panic!("local uid space exhausted");
+    }
+
+    /// Registers a raw protocol handler for an ethertype.
+    pub fn register_raw(&mut self, ethertype: EtherType, handler: Box<dyn RawHandler>) {
+        self.raw.insert(ethertype.0, handler);
+    }
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("logical", &self.logical)
+            .field("procs", &self.procs.len())
+            .field("aliens", &self.aliens.len())
+            .finish()
+    }
+}

@@ -1,0 +1,125 @@
+//! Logical host → network address mapping.
+//!
+//! §3.1 of the paper describes two schemes:
+//!
+//! * **3 Mb Ethernet**: the top 8 bits of the logical host identifier
+//!   *are* the physical network address — the mapping is computed, never
+//!   stored ([`AddressingMode::Direct`]).
+//! * **10 Mb Ethernet**: a table maps logical hosts to network addresses;
+//!   when there is no entry the packet is **broadcast**, and new
+//!   correspondences are **learned from received packets**
+//!   ([`AddressingMode::Learned`]).
+
+use std::collections::HashMap;
+
+use v_net::MacAddr;
+
+use crate::pid::LogicalHost;
+
+/// Which pid → network address scheme the cluster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressingMode {
+    /// 3 Mb convention: station address embedded in the logical host id.
+    Direct,
+    /// 10 Mb convention: learned table, broadcast on miss.
+    Learned,
+}
+
+/// One kernel's view of the logical-host → station mapping.
+#[derive(Debug)]
+pub struct HostMap {
+    mode: AddressingMode,
+    table: HashMap<u16, MacAddr>,
+    /// Packets sent by broadcast because the destination was unknown.
+    pub broadcast_fallbacks: u64,
+    /// Correspondences learned from received packets.
+    pub learned: u64,
+}
+
+impl HostMap {
+    /// Creates a map for the given mode.
+    pub fn new(mode: AddressingMode) -> HostMap {
+        HostMap {
+            mode,
+            table: HashMap::new(),
+            broadcast_fallbacks: 0,
+            learned: 0,
+        }
+    }
+
+    /// The addressing mode.
+    pub fn mode(&self) -> AddressingMode {
+        self.mode
+    }
+
+    /// Resolves a logical host to a station address; `None` means the
+    /// caller must fall back to broadcast (and should count it via
+    /// [`HostMap::note_broadcast_fallback`]).
+    pub fn resolve(&self, host: LogicalHost) -> Option<MacAddr> {
+        match self.mode {
+            AddressingMode::Direct => Some(MacAddr(host.station_byte())),
+            AddressingMode::Learned => self.table.get(&host.0).copied(),
+        }
+    }
+
+    /// Records that a packet had to be broadcast for want of a mapping.
+    pub fn note_broadcast_fallback(&mut self) {
+        self.broadcast_fallbacks += 1;
+    }
+
+    /// Learns a correspondence from a received packet's source fields.
+    /// No-op in `Direct` mode (nothing to learn).
+    pub fn learn(&mut self, host: LogicalHost, mac: MacAddr) {
+        if self.mode == AddressingMode::Learned {
+            let fresh = self.table.insert(host.0, mac) != Some(mac);
+            if fresh {
+                self.learned += 1;
+            }
+        }
+    }
+
+    /// Number of learned entries (always 0 in `Direct` mode).
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mode_computes_mapping() {
+        let m = HostMap::new(AddressingMode::Direct);
+        let h = LogicalHost::from_station(0x2A);
+        assert_eq!(m.resolve(h), Some(MacAddr(0x2A)));
+        assert_eq!(m.table_len(), 0);
+    }
+
+    #[test]
+    fn learned_mode_misses_then_learns() {
+        let mut m = HostMap::new(AddressingMode::Learned);
+        let h = LogicalHost(0x8001);
+        assert_eq!(m.resolve(h), None);
+        m.learn(h, MacAddr(5));
+        assert_eq!(m.resolve(h), Some(MacAddr(5)));
+        assert_eq!(m.learned, 1);
+        // Re-learning the same mapping is not counted twice.
+        m.learn(h, MacAddr(5));
+        assert_eq!(m.learned, 1);
+        // But an updated mapping is.
+        m.learn(h, MacAddr(6));
+        assert_eq!(m.learned, 2);
+        assert_eq!(m.resolve(h), Some(MacAddr(6)));
+    }
+
+    #[test]
+    fn direct_mode_ignores_learning() {
+        let mut m = HostMap::new(AddressingMode::Direct);
+        m.learn(LogicalHost(0x0100), MacAddr(9));
+        assert_eq!(m.table_len(), 0);
+        assert_eq!(m.learned, 0);
+        // Resolution still follows the convention, not the table.
+        assert_eq!(m.resolve(LogicalHost(0x0100)), Some(MacAddr(1)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Process identifiers.
+//!
+//! V uses a flat, global naming space: a 32-bit *process identifier*
+//! unique within the local network. The high-order 16 bits are a **logical
+//! host** subfield and the low-order 16 bits a locally unique identifier —
+//! this is the paper's §3.1, and the encoding is load-bearing: the
+//! "locality test" on the host subfield is the primary invocation
+//! mechanism from local kernel code into the network IPC path, and on the
+//! 3 Mb Ethernet the top 8 bits of the logical host *are* the physical
+//! network address, making pid → network address mapping trivial.
+
+use std::fmt;
+
+/// The logical-host subfield of a process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalHost(pub u16);
+
+impl LogicalHost {
+    /// The 3 Mb Ethernet convention: physical network address in the top
+    /// 8 bits (the low 8 bits are free for, e.g., multiple logical hosts
+    /// per physical machine).
+    pub fn station_byte(self) -> u8 {
+        (self.0 >> 8) as u8
+    }
+
+    /// Builds a logical host from a physical station address using the
+    /// 3 Mb convention.
+    pub fn from_station(station: u8) -> LogicalHost {
+        LogicalHost((station as u16) << 8)
+    }
+}
+
+impl fmt::Display for LogicalHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{:04x}", self.0)
+    }
+}
+
+/// A 32-bit globally unique process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// The invalid pid (no process); `GetPid` misses return this as
+    /// `None` at the API level, 0 on the wire.
+    pub const NONE: u32 = 0;
+
+    /// Builds a pid from its logical host and locally unique id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local == 0` — 0 is reserved so that the all-zero pid is
+    /// never a valid process.
+    pub fn new(host: LogicalHost, local: u16) -> Pid {
+        assert!(local != 0, "local uid 0 is reserved");
+        Pid(((host.0 as u32) << 16) | local as u32)
+    }
+
+    /// Reconstructs a pid from its raw 32-bit representation (e.g. off the
+    /// wire). Returns `None` for the reserved zero local id.
+    pub fn from_raw(raw: u32) -> Option<Pid> {
+        if raw & 0xFFFF == 0 {
+            None
+        } else {
+            Some(Pid(raw))
+        }
+    }
+
+    /// Raw 32-bit representation, as carried in packets and messages.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The logical-host subfield.
+    pub fn host(self) -> LogicalHost {
+        LogicalHost((self.0 >> 16) as u16)
+    }
+
+    /// The locally unique subfield.
+    pub fn local(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// The locality test: true if this pid lives on `host`.
+    ///
+    /// This single comparison is what routes every kernel primitive to
+    /// either the Thoth-style local path or the interkernel protocol.
+    pub fn is_local_to(self, host: LogicalHost) -> bool {
+        self.host() == host
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:04x}", self.host(), self.local())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subfields_round_trip() {
+        let p = Pid::new(LogicalHost(0x0A01), 0x0042);
+        assert_eq!(p.host(), LogicalHost(0x0A01));
+        assert_eq!(p.local(), 0x42);
+        assert_eq!(Pid::from_raw(p.raw()), Some(p));
+    }
+
+    #[test]
+    fn zero_local_is_invalid() {
+        assert_eq!(Pid::from_raw(0x0A01_0000), None);
+        assert_eq!(Pid::from_raw(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn new_rejects_zero_local() {
+        let _ = Pid::new(LogicalHost(1), 0);
+    }
+
+    #[test]
+    fn locality_test() {
+        let h1 = LogicalHost::from_station(3);
+        let h2 = LogicalHost::from_station(4);
+        let p = Pid::new(h1, 7);
+        assert!(p.is_local_to(h1));
+        assert!(!p.is_local_to(h2));
+    }
+
+    #[test]
+    fn station_byte_convention() {
+        let h = LogicalHost::from_station(0x2B);
+        assert_eq!(h.0, 0x2B00);
+        assert_eq!(h.station_byte(), 0x2B);
+    }
+
+    #[test]
+    fn display() {
+        let p = Pid::new(LogicalHost(0x0100), 0x002A);
+        assert_eq!(p.to_string(), "h0100.002a");
+    }
+}

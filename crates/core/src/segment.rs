@@ -1,0 +1,149 @@
+//! Segment grants.
+//!
+//! A V message may grant its recipient access to one contiguous segment
+//! of the sender's address space (§2.1): the last two words of the message
+//! give the segment's start address and length, and reserved flag bits at
+//! the start of the message say whether a segment is specified and with
+//! which access. All kernel data transfer — `MoveTo`, `MoveFrom`, the
+//! appended-segment optimizations — is validated against this grant.
+
+use crate::error::KernelError;
+
+/// Access mode granted on a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Recipient may read the segment (`MoveFrom`, appended send data).
+    Read,
+    /// Recipient may write the segment (`MoveTo`, `ReplyWithSegment`).
+    Write,
+    /// Recipient may both read and write.
+    ReadWrite,
+}
+
+impl Access {
+    /// True if reads are permitted.
+    pub fn allows_read(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    /// True if writes are permitted.
+    pub fn allows_write(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// A segment grant: one contiguous byte range plus an access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGrant {
+    /// Start address in the granting process's space.
+    pub start: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// Granted access mode.
+    pub access: Access,
+}
+
+impl SegmentGrant {
+    /// Validates that `[addr, addr+count)` lies inside the grant and that
+    /// the requested `access` is permitted.
+    pub fn check(&self, addr: u32, count: u32, access: Access) -> Result<(), KernelError> {
+        let ok_mode = match access {
+            Access::Read => self.access.allows_read(),
+            Access::Write => self.access.allows_write(),
+            Access::ReadWrite => self.access.allows_read() && self.access.allows_write(),
+        };
+        if !ok_mode {
+            return Err(KernelError::NoSegmentAccess);
+        }
+        let end = addr.checked_add(count).ok_or(KernelError::BadAddress)?;
+        let grant_end = self
+            .start
+            .checked_add(self.len)
+            .ok_or(KernelError::BadAddress)?;
+        if addr < self.start || end > grant_end {
+            return Err(KernelError::NoSegmentAccess);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes() {
+        assert!(Access::Read.allows_read());
+        assert!(!Access::Read.allows_write());
+        assert!(Access::Write.allows_write());
+        assert!(!Access::Write.allows_read());
+        assert!(Access::ReadWrite.allows_read());
+        assert!(Access::ReadWrite.allows_write());
+    }
+
+    #[test]
+    fn in_range_check_passes() {
+        let g = SegmentGrant {
+            start: 100,
+            len: 50,
+            access: Access::Read,
+        };
+        assert!(g.check(100, 50, Access::Read).is_ok());
+        assert!(g.check(120, 10, Access::Read).is_ok());
+        assert!(g.check(149, 1, Access::Read).is_ok());
+        // Zero-length transfers at the very end are fine.
+        assert!(g.check(150, 0, Access::Read).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_check_fails() {
+        let g = SegmentGrant {
+            start: 100,
+            len: 50,
+            access: Access::ReadWrite,
+        };
+        assert_eq!(
+            g.check(99, 2, Access::Read),
+            Err(KernelError::NoSegmentAccess)
+        );
+        assert_eq!(
+            g.check(140, 20, Access::Write),
+            Err(KernelError::NoSegmentAccess)
+        );
+    }
+
+    #[test]
+    fn wrong_mode_fails() {
+        let g = SegmentGrant {
+            start: 0,
+            len: 10,
+            access: Access::Read,
+        };
+        assert_eq!(
+            g.check(0, 10, Access::Write),
+            Err(KernelError::NoSegmentAccess)
+        );
+        let g = SegmentGrant {
+            start: 0,
+            len: 10,
+            access: Access::Write,
+        };
+        assert_eq!(
+            g.check(0, 10, Access::Read),
+            Err(KernelError::NoSegmentAccess)
+        );
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        let g = SegmentGrant {
+            start: 0,
+            len: u32::MAX,
+            access: Access::ReadWrite,
+        };
+        assert_eq!(
+            g.check(u32::MAX, 2, Access::Read),
+            Err(KernelError::BadAddress)
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-kernel protocol statistics.
+
+/// Counters one kernel accumulates; integration tests and experiments
+/// read these to verify protocol behaviour (retransmissions under loss,
+/// reply-pending under alien exhaustion, ...).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Local message exchanges begun (Send to a local process).
+    pub sends_local: u64,
+    /// Remote message exchanges begun (NonLocalSend).
+    pub sends_remote: u64,
+    /// Send packets retransmitted after timeout.
+    pub retransmissions: u64,
+    /// Sends that failed after exhausting retries.
+    pub send_timeouts: u64,
+    /// Nacks received (addressed process did not exist).
+    pub nacks_received: u64,
+    /// Nacks sent.
+    pub nacks_sent: u64,
+    /// Reply-pending packets sent.
+    pub reply_pending_sent: u64,
+    /// Reply-pending packets received.
+    pub reply_pending_received: u64,
+    /// Duplicate Send packets filtered by the alien table.
+    pub duplicates_filtered: u64,
+    /// Cached replies retransmitted for duplicate Sends.
+    pub replies_retransmitted: u64,
+    /// Aliens allocated.
+    pub aliens_allocated: u64,
+    /// Messages refused for want of an alien descriptor.
+    pub aliens_exhausted: u64,
+    /// Received frames discarded for checksum failure.
+    pub checksum_drops: u64,
+    /// Bulk-transfer data chunks sent.
+    pub chunks_sent: u64,
+    /// Bulk-transfer data chunks received in order.
+    pub chunks_received: u64,
+    /// Out-of-order chunks dropped.
+    pub chunks_dropped: u64,
+    /// Transfers resumed from a partial acknowledgement or stall.
+    pub transfer_resumes: u64,
+    /// Transfers failed.
+    pub transfer_failures: u64,
+    /// GetPid broadcasts issued.
+    pub getpid_broadcasts: u64,
+    /// GetPid replies answered for other kernels.
+    pub getpid_answers: u64,
+    /// Processes spawned on this host.
+    pub processes_spawned: u64,
+    /// Processes exited on this host.
+    pub processes_exited: u64,
+}

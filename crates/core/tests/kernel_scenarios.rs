@@ -1,0 +1,523 @@
+//! Kernel scenario tests: grant enforcement, naming edge cases, and
+//! protocol corner paths that the workload-level suites do not isolate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use v_kernel::{
+    logical, Access, Api, Cluster, ClusterConfig, CpuSpeed, HostId, KernelError, Message, Outcome,
+    Pid, Program, Scope,
+};
+use v_sim::SimDuration;
+
+type Log = Rc<RefCell<Vec<String>>>;
+
+fn cluster(hosts: usize) -> Cluster {
+    Cluster::new(ClusterConfig::three_mb().with_hosts(hosts, CpuSpeed::Mc68000At10MHz))
+}
+
+/// Grants `grant` (if any) to `to` and logs the send outcome.
+struct GrantingSender {
+    to: Pid,
+    grant: Option<(u32, u32, Access)>,
+    log: Log,
+}
+impl Program for GrantingSender {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                let mut m = Message::empty();
+                if let Some((start, len, access)) = self.grant {
+                    api.mem_fill(start, len as usize, 0xDD).unwrap();
+                    m.set_segment(start, len, access);
+                }
+                api.send(m, self.to);
+            }
+            Outcome::Send(r) => {
+                self.log
+                    .borrow_mut()
+                    .push(format!("send:{}", r.is_ok()));
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Receives one message and attempts a transfer, logging the outcome.
+struct MoveAttempt {
+    op: fn(&mut Api<'_>, Pid),
+    log: Log,
+    from: Option<Pid>,
+}
+impl Program for MoveAttempt {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => api.receive(),
+            Outcome::Receive { from, .. } => {
+                self.from = Some(from);
+                (self.op)(api, from);
+            }
+            Outcome::Move(r) => {
+                self.log.borrow_mut().push(match r {
+                    Ok(n) => format!("move:ok:{n}"),
+                    Err(e) => format!("move:err:{e:?}"),
+                });
+                let _ = api.reply(Message::empty(), self.from.expect("received"));
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+fn run_move_case(
+    grant: Option<(u32, u32, Access)>,
+    op: fn(&mut Api<'_>, Pid),
+    remote: bool,
+) -> Vec<String> {
+    let mut cl = cluster(2);
+    let log: Log = Default::default();
+    let server = cl.spawn(
+        HostId(0),
+        "mover",
+        Box::new(MoveAttempt {
+            op,
+            log: log.clone(),
+            from: None,
+        }),
+    );
+    cl.spawn(
+        HostId(if remote { 1 } else { 0 }),
+        "granter",
+        Box::new(GrantingSender {
+            to: server,
+            grant,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    let v = log.borrow().clone();
+    v
+}
+
+#[test]
+fn move_to_without_any_grant_fails() {
+    for remote in [false, true] {
+        let log = run_move_case(
+            None,
+            |api, from| api.move_to(from, 0x1000, 0x1000, 64),
+            remote,
+        );
+        assert!(
+            log.contains(&"move:err:NoSegmentAccess".to_string()),
+            "remote={remote}: {log:?}"
+        );
+    }
+}
+
+#[test]
+fn move_to_outside_grant_range_fails() {
+    for remote in [false, true] {
+        let log = run_move_case(
+            Some((0x1000, 128, Access::ReadWrite)),
+            |api, from| api.move_to(from, 0x1000, 0x1000, 256), // 256 > 128
+            remote,
+        );
+        assert!(
+            log.contains(&"move:err:NoSegmentAccess".to_string()),
+            "remote={remote}: {log:?}"
+        );
+    }
+}
+
+#[test]
+fn move_to_against_read_only_grant_fails() {
+    for remote in [false, true] {
+        let log = run_move_case(
+            Some((0x1000, 512, Access::Read)),
+            |api, from| api.move_to(from, 0x1000, 0x1000, 512),
+            remote,
+        );
+        assert!(
+            log.contains(&"move:err:NoSegmentAccess".to_string()),
+            "remote={remote}: {log:?}"
+        );
+    }
+}
+
+#[test]
+fn move_from_against_write_only_grant_fails() {
+    for remote in [false, true] {
+        let log = run_move_case(
+            Some((0x1000, 512, Access::Write)),
+            |api, from| api.move_from(from, 0x2000, 0x1000, 512),
+            remote,
+        );
+        assert!(
+            log.contains(&"move:err:NoSegmentAccess".to_string()),
+            "remote={remote}: {log:?}"
+        );
+    }
+}
+
+#[test]
+fn move_within_grant_succeeds_both_ways() {
+    for remote in [false, true] {
+        let log = run_move_case(
+            Some((0x1000, 512, Access::ReadWrite)),
+            |api, from| api.move_from(from, 0x2000, 0x1000, 512),
+            remote,
+        );
+        assert!(log.contains(&"move:ok:512".to_string()), "{log:?}");
+        assert!(log.contains(&"send:true".to_string()), "{log:?}");
+    }
+}
+
+#[test]
+fn move_to_nonblocked_process_fails() {
+    // The target never sent to us, so it is not awaiting our reply.
+    struct Idle;
+    impl Program for Idle {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            if let Outcome::Started = outcome {
+                api.receive();
+            } else {
+                api.exit();
+            }
+        }
+    }
+    struct Violator {
+        victim: Pid,
+        log: Log,
+    }
+    impl Program for Violator {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.move_to(self.victim, 0, 0, 16),
+                Outcome::Move(r) => {
+                    self.log.borrow_mut().push(format!("{r:?}"));
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    let mut cl = cluster(2);
+    let log: Log = Default::default();
+    let victim = cl.spawn(HostId(1), "idle", Box::new(Idle));
+    cl.spawn(
+        HostId(0),
+        "violator",
+        Box::new(Violator {
+            victim,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    assert_eq!(log.borrow().as_slice(), ["Err(NotBlocked)"]);
+}
+
+#[test]
+fn reply_with_segment_respects_write_grant() {
+    struct SegReplier {
+        seg_len: u32,
+        log: Log,
+    }
+    impl Program for SegReplier {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.receive(),
+                Outcome::Receive { from, msg } => {
+                    let g = msg.segment().expect("client granted");
+                    api.mem_fill(0x5000, self.seg_len as usize, 0x77).unwrap();
+                    let r = api.reply_with_segment(
+                        Message::empty(),
+                        from,
+                        g.start,
+                        0x5000,
+                        self.seg_len,
+                    );
+                    self.log.borrow_mut().push(format!("reply:{r:?}"));
+                    if r.is_err() {
+                        // Unblock the client so the run terminates.
+                        let _ = api.reply(Message::empty(), from);
+                    }
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    for (grant_len, seg_len, expect_ok) in [(512u32, 512u32, true), (128, 512, false)] {
+        let mut cl = cluster(2);
+        let log: Log = Default::default();
+        let server = cl.spawn(
+            HostId(1),
+            "segreplier",
+            Box::new(SegReplier {
+                seg_len,
+                log: log.clone(),
+            }),
+        );
+        cl.spawn(
+            HostId(0),
+            "client",
+            Box::new(GrantingSender {
+                to: server,
+                grant: Some((0x3000, grant_len, Access::Write)),
+                log: log.clone(),
+            }),
+        );
+        cl.run();
+        let log = log.borrow();
+        if expect_ok {
+            assert!(log.iter().any(|s| s == "reply:Ok(())"), "{log:?}");
+        } else {
+            assert!(
+                log.iter().any(|s| s.contains("NoSegmentAccess")),
+                "{log:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn getpid_remote_scope_skips_local_table() {
+    struct Query {
+        scope: Scope,
+        log: Log,
+    }
+    impl Program for Query {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => {
+                    // Register *locally visible only* on this kernel.
+                    api.set_pid(logical::NAME_SERVER, api.self_pid(), Scope::Local);
+                    api.get_pid(logical::NAME_SERVER, self.scope);
+                }
+                Outcome::GetPid(r) => {
+                    self.log.borrow_mut().push(format!("{}", r.is_some()));
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    // Local scope finds it; Remote scope broadcasts and nobody answers.
+    for (scope, expect) in [(Scope::Local, "true"), (Scope::Remote, "false")] {
+        let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        cfg.protocol.getpid_timeout = SimDuration::from_millis(5);
+        let mut cl = Cluster::new(cfg);
+        let log: Log = Default::default();
+        cl.spawn(
+            HostId(0),
+            "query",
+            Box::new(Query {
+                scope,
+                log: log.clone(),
+            }),
+        );
+        cl.run();
+        assert_eq!(log.borrow().as_slice(), [expect], "scope {scope:?}");
+    }
+}
+
+#[test]
+fn getpid_retries_broadcast_before_giving_up() {
+    struct Query {
+        log: Log,
+    }
+    impl Program for Query {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.get_pid(logical::EXEC_SERVER, Scope::Both),
+                Outcome::GetPid(r) => {
+                    self.log.borrow_mut().push(format!("{r:?}"));
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+    cfg.protocol.getpid_timeout = SimDuration::from_millis(5);
+    cfg.protocol.getpid_retries = 3;
+    let mut cl = Cluster::new(cfg);
+    let log: Log = Default::default();
+    cl.spawn(HostId(0), "query", Box::new(Query { log: log.clone() }));
+    cl.run();
+    assert_eq!(log.borrow().as_slice(), ["None"]);
+    // Initial broadcast + 3 retries.
+    assert_eq!(cl.kernel_stats(HostId(0)).getpid_broadcasts, 4);
+}
+
+#[test]
+fn message_exchange_works_between_processes_on_all_host_pairs() {
+    // Smoke test over a larger cluster: every host can talk to every
+    // other host (and itself).
+    let n = 6;
+    let mut cl = cluster(n);
+    let log: Log = Default::default();
+    struct Echo1;
+    impl Program for Echo1 {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.receive(),
+                Outcome::Receive { from, msg } => {
+                    let _ = api.reply(msg, from);
+                    api.receive();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    let servers: Vec<Pid> = (0..n)
+        .map(|i| cl.spawn(HostId(i), "echo", Box::new(Echo1)))
+        .collect();
+    for i in 0..n {
+        for (j, &server) in servers.iter().enumerate() {
+            cl.spawn(
+                HostId(i),
+                "oneshot",
+                Box::new(GrantingSender {
+                    to: server,
+                    grant: None,
+                    log: {
+                        let l = log.clone();
+                        l.borrow_mut().push(format!("spawn:{i}->{j}"));
+                        l
+                    },
+                }),
+            );
+        }
+    }
+    cl.run();
+    let ok = log.borrow().iter().filter(|s| *s == "send:true").count();
+    assert_eq!(ok, n * n, "{:?}", log.borrow());
+}
+
+#[test]
+fn zero_byte_move_completes() {
+    let log = run_move_case(
+        Some((0x1000, 512, Access::ReadWrite)),
+        |api, from| api.move_to(from, 0x1000, 0x1000, 0),
+        true,
+    );
+    assert!(log.contains(&"move:ok:0".to_string()), "{log:?}");
+}
+
+#[test]
+fn send_failure_after_exhausted_retries_reports_timeout_error() {
+    let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+    cfg.protocol.retransmit_timeout = SimDuration::from_millis(5);
+    cfg.protocol.max_retries = 2;
+    // Lose everything: no exchange can ever complete.
+    cfg.faults = v_net::FaultPlan::with_loss(1.0);
+    let mut cl = Cluster::new(cfg);
+    let log: Log = Default::default();
+    struct Blackhole;
+    impl Program for Blackhole {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            if let Outcome::Started = outcome {
+                api.receive();
+            } else {
+                api.exit();
+            }
+        }
+    }
+    let server = cl.spawn(HostId(1), "blackhole", Box::new(Blackhole));
+    cl.spawn(
+        HostId(0),
+        "sender",
+        Box::new(GrantingSender {
+            to: server,
+            grant: None,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    assert_eq!(log.borrow().as_slice(), ["send:false"]);
+    let st = cl.kernel_stats(HostId(0));
+    assert_eq!(st.send_timeouts, 1);
+    assert_eq!(st.retransmissions, 2);
+    let _ = KernelError::Timeout; // documented failure mode
+}
+
+#[test]
+fn lost_reply_is_recovered_from_cache_even_after_replier_exits() {
+    // Regression (found by proptest): the replier answers and exits; the
+    // reply packet is lost. The sender's retransmission must be answered
+    // from the alien's cached reply — not nacked because the process is
+    // gone, and not stonewalled with reply-pending.
+    struct ReplyAndExit;
+    impl Program for ReplyAndExit {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.receive(),
+                Outcome::Receive { from, .. } => {
+                    let mut m = Message::empty();
+                    m.set_u32(4, 0xCAFE);
+                    let _ = api.reply(m, from);
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    struct CheckedSender {
+        to: Pid,
+        log: Log,
+    }
+    impl Program for CheckedSender {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.send(Message::empty(), self.to),
+                Outcome::Send(Ok(r)) => {
+                    self.log.borrow_mut().push(format!("ok:{:x}", r.get_u32(4)));
+                    api.exit();
+                }
+                Outcome::Send(Err(e)) => {
+                    self.log.borrow_mut().push(format!("err:{e:?}"));
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    // Find a seed where exactly the reply packet is lost: sweep seeds
+    // with ~30% loss until the first exchange needs a retransmission and
+    // still succeeds. With the bug, such runs produced
+    // Err(NonexistentProcess).
+    let mut exercised = false;
+    for seed in 0..40u64 {
+        let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        cfg.faults = v_net::FaultPlan::with_loss(0.3);
+        cfg.seed = seed;
+        cfg.protocol.retransmit_timeout = SimDuration::from_millis(5);
+        let mut cl = Cluster::new(cfg);
+        let log: Log = Default::default();
+        let server = cl.spawn(HostId(1), "reply-exit", Box::new(ReplyAndExit));
+        cl.spawn(
+            HostId(0),
+            "sender",
+            Box::new(CheckedSender {
+                to: server,
+                log: log.clone(),
+            }),
+        );
+        cl.run();
+        let log = log.borrow();
+        // A Timeout is legitimate at 30% loss (the retry budget can
+        // genuinely run out); the bug's signature was a spurious
+        // NonexistentProcess from nacking the cached-reply alien.
+        assert!(
+            log[0] == "ok:cafe" || log[0] == "err:Timeout",
+            "seed {seed}: {log:?}"
+        );
+        if log[0] == "ok:cafe" && cl.kernel_stats(HostId(1)).replies_retransmitted > 0 {
+            exercised = true;
+        }
+    }
+    assert!(exercised, "no seed exercised the cached-reply path");
+}

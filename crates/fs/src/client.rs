@@ -1,0 +1,395 @@
+//! Client-side helpers for the I/O protocol.
+//!
+//! Application processes access system services "through stub routines
+//! that provide a procedural interface to the message primitives" (§3.4).
+//! [`stub`] builds correctly-flagged request messages; [`FsClient`] is a
+//! ready-made process that runs a script of file operations and verifies
+//! the results — used by integration tests and examples.
+
+use v_kernel::{Access, Api, Message, Outcome, Pid, Program};
+
+use crate::proto::{IoOp, IoReply, IoRequest, IoStatus};
+use crate::store::FileId;
+use crate::BLOCK_SIZE;
+
+/// Stub routines: build request messages with the right segment grants.
+pub mod stub {
+    use super::*;
+
+    /// Open-by-name: the name lives at `name_addr`/`name_len` in the
+    /// client's space; read access is granted so it rides the request.
+    pub fn open(name_addr: u32, name_len: u32, tag: u16) -> Message {
+        let mut m = IoRequest {
+            op: IoOp::Open,
+            file: FileId(0),
+            block: 0,
+            count: 0,
+            buffer: 0,
+            aux: 0,
+            tag,
+        }
+        .encode();
+        m.set_segment(name_addr, name_len, Access::Read);
+        m
+    }
+
+    /// Create a file of `size` bytes.
+    pub fn create(name_addr: u32, name_len: u32, size: u32, tag: u16) -> Message {
+        let mut m = IoRequest {
+            op: IoOp::Create,
+            file: FileId(0),
+            block: 0,
+            count: 0,
+            buffer: 0,
+            aux: size,
+            tag,
+        }
+        .encode();
+        m.set_segment(name_addr, name_len, Access::Read);
+        m
+    }
+
+    /// Read one block into the buffer at `buffer` (write access granted
+    /// so the server's `ReplyWithSegment`/`MoveTo` may deposit there).
+    pub fn read(file: FileId, block: u32, count: u32, buffer: u32, tag: u16) -> Message {
+        let mut m = IoRequest {
+            op: IoOp::Read,
+            file,
+            block,
+            count,
+            buffer,
+            aux: 0,
+            tag,
+        }
+        .encode();
+        m.set_segment(buffer, count, Access::Write);
+        m
+    }
+
+    /// Write one block from the buffer at `buffer` (read access granted;
+    /// the kernel appends the first part to the request packet).
+    pub fn write(file: FileId, block: u32, count: u32, buffer: u32, tag: u16) -> Message {
+        let mut m = IoRequest {
+            op: IoOp::Write,
+            file,
+            block,
+            count,
+            buffer,
+            aux: 0,
+            tag,
+        }
+        .encode();
+        m.set_segment(buffer, count, Access::Read);
+        m
+    }
+
+    /// Query a file's length.
+    pub fn query(file: FileId, tag: u16) -> Message {
+        IoRequest {
+            op: IoOp::Query,
+            file,
+            block: 0,
+            count: 0,
+            buffer: 0,
+            aux: 0,
+            tag,
+        }
+        .encode()
+    }
+
+    /// Large read of `count` bytes starting at block `block` into
+    /// `buffer` (the server pushes with `MoveTo`s).
+    pub fn read_large(file: FileId, block: u32, count: u32, buffer: u32, tag: u16) -> Message {
+        let mut m = IoRequest {
+            op: IoOp::ReadLarge,
+            file,
+            block,
+            count,
+            buffer,
+            aux: 0,
+            tag,
+        }
+        .encode();
+        m.set_segment(buffer, count, Access::Write);
+        m
+    }
+}
+
+/// One step of an [`FsClient`] script.
+#[derive(Debug, Clone)]
+pub enum FsCall {
+    /// Open by name; remembers the returned file id.
+    Open(String),
+    /// Create a file of the given size; remembers the id.
+    Create(String, u32),
+    /// Read `count` bytes of `block` into the client buffer and check
+    /// every byte equals the expectation.
+    ReadExpect {
+        /// Block index.
+        block: u32,
+        /// Byte count.
+        count: u32,
+        /// Expected fill byte.
+        expect: u8,
+    },
+    /// Fill the client buffer with a byte and write it to `block`.
+    WriteFill {
+        /// Block index.
+        block: u32,
+        /// Byte count.
+        count: u32,
+        /// Fill byte.
+        fill: u8,
+    },
+    /// Query the file length and check it.
+    QueryExpect(u32),
+    /// Large read into the buffer plus a fill check.
+    ReadLargeExpect {
+        /// Starting block.
+        block: u32,
+        /// Byte count.
+        count: u32,
+        /// Expected fill byte.
+        expect: u8,
+    },
+}
+
+/// Outcome summary of an [`FsClient`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FsClientReport {
+    /// Steps completed successfully.
+    pub completed: u64,
+    /// Protocol errors (bad status).
+    pub errors: u64,
+    /// Data mismatches.
+    pub integrity_errors: u64,
+    /// True once the whole script finished.
+    pub done: bool,
+}
+
+/// Client buffer locations.
+const NAME_BUF: u32 = 0x0100;
+const DATA_BUF: u32 = 0x20000;
+
+/// A scripted file-service client.
+pub struct FsClient {
+    /// The file server.
+    pub server: Pid,
+    /// Script to run.
+    pub script: Vec<FsCall>,
+    /// Shared results.
+    pub report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
+    step: usize,
+    file: FileId,
+}
+
+impl FsClient {
+    /// Creates a scripted client.
+    pub fn new(
+        server: Pid,
+        script: Vec<FsCall>,
+        report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
+    ) -> FsClient {
+        FsClient {
+            server,
+            script,
+            report,
+            step: 0,
+            file: FileId(0),
+        }
+    }
+
+    fn issue(&mut self, api: &mut Api<'_>) {
+        let Some(call) = self.script.get(self.step) else {
+            self.report.borrow_mut().done = true;
+            api.exit();
+            return;
+        };
+        let tag = self.step as u16;
+        match call.clone() {
+            FsCall::Open(name) | FsCall::Create(name, _) => {
+                api.mem_write(NAME_BUF, name.as_bytes()).expect("name fits");
+                let msg = match &self.script[self.step] {
+                    FsCall::Open(_) => stub::open(NAME_BUF, name.len() as u32, tag),
+                    FsCall::Create(_, size) => {
+                        stub::create(NAME_BUF, name.len() as u32, *size, tag)
+                    }
+                    _ => unreachable!(),
+                };
+                api.send(msg, self.server);
+            }
+            FsCall::ReadExpect { block, count, .. } => {
+                api.mem_fill(DATA_BUF, count as usize, 0x00).expect("fits");
+                api.send(stub::read(self.file, block, count, DATA_BUF, tag), self.server);
+            }
+            FsCall::WriteFill { block, count, fill } => {
+                api.mem_fill(DATA_BUF, count as usize, fill).expect("fits");
+                api.send(stub::write(self.file, block, count, DATA_BUF, tag), self.server);
+            }
+            FsCall::QueryExpect(_) => {
+                api.send(stub::query(self.file, tag), self.server);
+            }
+            FsCall::ReadLargeExpect { block, count, .. } => {
+                api.mem_fill(DATA_BUF, count as usize, 0x00).expect("fits");
+                api.send(
+                    stub::read_large(self.file, block, count, DATA_BUF, tag),
+                    self.server,
+                );
+            }
+        }
+    }
+
+    fn check(&mut self, api: &mut Api<'_>, reply: IoReply) {
+        let call = self.script[self.step].clone();
+        let mut rep = self.report.borrow_mut();
+        if reply.status != IoStatus::Ok {
+            rep.errors += 1;
+        } else {
+            match call {
+                FsCall::Open(_) | FsCall::Create(_, _) => {
+                    self.file = reply.file;
+                }
+                FsCall::QueryExpect(expect) => {
+                    if reply.value != expect {
+                        rep.integrity_errors += 1;
+                    }
+                }
+                FsCall::ReadExpect { count, expect, .. }
+                | FsCall::ReadLargeExpect { count, expect, .. } => {
+                    if reply.value != count.min(reply.value.max(count)) {
+                        // value is bytes served; short reads are caught
+                        // by the content check below anyway.
+                    }
+                    let got = api.mem_read(DATA_BUF, count as usize).expect("fits");
+                    if got.iter().any(|&b| b != expect) {
+                        rep.integrity_errors += 1;
+                    }
+                }
+                FsCall::WriteFill { count, .. } => {
+                    if reply.value != count.min(BLOCK_SIZE as u32) {
+                        rep.integrity_errors += 1;
+                    }
+                }
+            }
+            rep.completed += 1;
+        }
+    }
+}
+
+impl Program for FsClient {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => self.issue(api),
+            Outcome::Send(Ok(reply)) => {
+                let reply = IoReply::decode(&reply);
+                self.check(api, reply);
+                self.step += 1;
+                self.issue(api);
+            }
+            Outcome::Send(Err(_)) => {
+                self.report.borrow_mut().errors += 1;
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{FileServer, FileServerConfig};
+    use crate::store::BlockStore;
+    use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
+    use v_sim::SimDuration;
+
+    fn run_script(script: Vec<FsCall>) -> FsClientReport {
+        let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        let mut cl = Cluster::new(cfg);
+        let mut store = BlockStore::new();
+        let data = vec![0x7Eu8; 4 * BLOCK_SIZE];
+        store.create_with("boot", &data).unwrap();
+        let server = cl.spawn(
+            HostId(1),
+            "fileserver",
+            Box::new(FileServer::new(
+                FileServerConfig {
+                    disk: crate::disk::DiskModel::fixed(SimDuration::from_millis(1)),
+                    ..FileServerConfig::default()
+                },
+                store,
+            )),
+        );
+        let rep = std::rc::Rc::new(std::cell::RefCell::new(FsClientReport::default()));
+        cl.spawn(
+            HostId(0),
+            "fsclient",
+            Box::new(FsClient::new(server, script, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow().clone();
+        r
+    }
+
+    #[test]
+    fn open_read_write_query_round_trip() {
+        let rep = run_script(vec![
+            FsCall::Open("boot".into()),
+            FsCall::QueryExpect(4 * BLOCK_SIZE as u32),
+            FsCall::ReadExpect {
+                block: 2,
+                count: BLOCK_SIZE as u32,
+                expect: 0x7E,
+            },
+            FsCall::WriteFill {
+                block: 1,
+                count: BLOCK_SIZE as u32,
+                fill: 0x99,
+            },
+            FsCall::ReadExpect {
+                block: 1,
+                count: BLOCK_SIZE as u32,
+                expect: 0x99,
+            },
+        ]);
+        assert!(rep.done, "{rep:?}");
+        assert_eq!(rep.errors, 0);
+        assert_eq!(rep.integrity_errors, 0);
+        assert_eq!(rep.completed, 5);
+    }
+
+    #[test]
+    fn create_then_large_read() {
+        let rep = run_script(vec![
+            FsCall::Open("boot".into()),
+            FsCall::ReadLargeExpect {
+                block: 0,
+                count: 4 * BLOCK_SIZE as u32,
+                expect: 0x7E,
+            },
+            FsCall::Create("new".into(), 1024),
+            FsCall::QueryExpect(1024),
+            FsCall::WriteFill {
+                block: 0,
+                count: 512,
+                fill: 0x11,
+            },
+            FsCall::ReadExpect {
+                block: 0,
+                count: 512,
+                expect: 0x11,
+            },
+        ]);
+        assert!(rep.done, "{rep:?}");
+        assert_eq!(rep.errors, 0);
+        assert_eq!(rep.integrity_errors, 0);
+    }
+
+    #[test]
+    fn open_missing_file_reports_error() {
+        let rep = run_script(vec![FsCall::Open("missing".into())]);
+        assert!(rep.done);
+        assert_eq!(rep.errors, 1);
+        assert_eq!(rep.completed, 0);
+    }
+}

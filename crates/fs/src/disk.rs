@@ -1,0 +1,109 @@
+//! The file server's disk.
+//!
+//! The paper's analysis only needs a disk's *latency distribution*: Table
+//! 6-2 sweeps 10/15/20 ms, §6.1 estimates 20 ms per access, and §7 treats
+//! disk scheduling as "identical to conventional multi-user systems".
+//! This model charges a fixed access latency plus per-byte transfer time,
+//! with optional uniform jitter, and serializes requests (one arm).
+
+use v_sim::{SimDuration, SimTime, SplitMix64};
+
+/// A single-spindle disk.
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    /// Fixed positioning latency per request (seek + rotation).
+    pub access: SimDuration,
+    /// Uniform extra jitter in `[0, jitter)` per request.
+    pub jitter: SimDuration,
+    /// Transfer time per byte off the platters.
+    pub per_byte: SimDuration,
+    rng: SplitMix64,
+    busy_until: SimTime,
+}
+
+impl DiskModel {
+    /// A disk with fixed access latency and a 1983-plausible 1 MB/s
+    /// transfer rate.
+    pub fn fixed(access: SimDuration) -> DiskModel {
+        DiskModel {
+            access,
+            jitter: SimDuration::ZERO,
+            per_byte: SimDuration::from_nanos(1_000),
+            rng: SplitMix64::new(0xD15C),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// Adds uniform jitter.
+    pub fn with_jitter(mut self, jitter: SimDuration, seed: u64) -> DiskModel {
+        self.jitter = jitter;
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    /// Issues a request for `bytes` at time `now`; returns when the data
+    /// is in memory. Requests queue behind each other (one arm).
+    pub fn request(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let start = now.max(self.busy_until);
+        let mut service = self.access
+            + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64);
+        if !self.jitter.is_zero() {
+            service += SimDuration::from_nanos(self.rng.below(self.jitter.as_nanos().max(1)));
+        }
+        self.busy_until = start + service;
+        self.busy_until
+    }
+
+    /// The service time the *next* request would take (no queueing),
+    /// useful for read-ahead planning.
+    pub fn service_estimate(&self, bytes: usize) -> SimDuration {
+        self.access + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_plus_transfer() {
+        let mut d = DiskModel::fixed(SimDuration::from_millis(15));
+        let done = d.request(SimTime::ZERO, 512);
+        // 15 ms + 512 us.
+        assert_eq!(done, SimTime::from_micros(15_512));
+    }
+
+    #[test]
+    fn requests_queue() {
+        let mut d = DiskModel::fixed(SimDuration::from_millis(10));
+        let a = d.request(SimTime::ZERO, 0);
+        let b = d.request(SimTime::from_millis(1), 0);
+        assert_eq!(a, SimTime::from_millis(10));
+        assert_eq!(b, SimTime::from_millis(20));
+        // After it drains, a late request starts fresh.
+        let c = d.request(SimTime::from_millis(100), 0);
+        assert_eq!(c, SimTime::from_millis(110));
+    }
+
+    #[test]
+    fn jitter_stays_in_range() {
+        let mut d = DiskModel::fixed(SimDuration::from_millis(10))
+            .with_jitter(SimDuration::from_millis(5), 7);
+        for i in 0..50 {
+            let now = SimTime::from_millis(i * 100);
+            let done = d.request(now, 0);
+            let service = done.since(now);
+            assert!(service >= SimDuration::from_millis(10));
+            assert!(service < SimDuration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn service_estimate_matches_fixed_part() {
+        let d = DiskModel::fixed(SimDuration::from_millis(20));
+        assert_eq!(
+            d.service_estimate(512),
+            SimDuration::from_micros(20_512)
+        );
+    }
+}

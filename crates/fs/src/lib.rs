@@ -1,0 +1,41 @@
+//! File access for diskless workstations.
+//!
+//! "Network interprocess communication is predominantly used for remote
+//! file access since most SUN workstations at Stanford are configured
+//! without a local disk." This crate provides the file-service side of
+//! that arrangement, built — as the paper insists — *on top of* the
+//! general-purpose V IPC rather than a specialized protocol:
+//!
+//! * [`disk`] — a simple disk model (per-request latency + transfer
+//!   time) standing in for the file server's spindles;
+//! * [`store`] — an in-memory block store with a flat directory
+//!   (create/lookup/read/write), the server's cache+filesystem state;
+//! * [`proto`] — the Verex-style I/O protocol: file requests and replies
+//!   packed into 32-byte V messages;
+//! * [`server`] — the file-server process: page reads answered with
+//!   `ReplyWithSegment`, page writes taken from the appended segment via
+//!   `ReceiveWithSegment`, large reads broken into `MoveTo`s of at most
+//!   one transfer unit (the paper's VAX server used 4 KB), sequential
+//!   read-ahead against the disk model;
+//! * [`client`] — client-side helpers that format requests and drive
+//!   multi-step operations;
+//! * [`loader`] — program loading exactly as §6.3 describes (one block
+//!   read for the header, then one large read via `MoveTo` into the new
+//!   program space) and the §7 exec server that runs programs *on* the
+//!   file server.
+
+pub mod client;
+pub mod disk;
+pub mod loader;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use disk::DiskModel;
+pub use proto::{IoReply, IoRequest, IoStatus};
+pub use server::{FileServer, FileServerConfig};
+pub use store::BlockStore;
+
+/// The file system's block (page) size, matching the paper's 512-byte
+/// pages.
+pub const BLOCK_SIZE: usize = 512;

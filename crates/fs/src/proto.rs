@@ -1,0 +1,244 @@
+//! The Verex-style I/O protocol, packed into 32-byte V messages.
+//!
+//! "V file access is implemented using an I/O protocol developed for
+//! Verex. To read a page or block of a file, a client sends a message to
+//! the file server process specifying the file, block number, byte count
+//! and the address of the buffer into which the data is to be returned."
+//!
+//! File *names* (for open/create) travel as read-granted segments on the
+//! request — the paper notes the segment mechanism "has proven useful
+//! under more general circumstances, e.g. in passing character string
+//! names to name servers".
+//!
+//! Message layout (byte 0 is reserved for the kernel's segment flag
+//! bits; bytes 24–31 for the segment spec):
+//!
+//! ```text
+//! byte  1     op / status
+//! bytes 2-3   file id
+//! bytes 4-7   block number (requests) / value (replies)
+//! bytes 8-11  byte count
+//! bytes 12-15 client buffer address
+//! bytes 16-19 aux (create size; read-large transfer hint)
+//! bytes 20-21 tag (echoed in replies)
+//! ```
+
+use v_kernel::Message;
+
+use crate::store::FileId;
+
+/// File operation opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum IoOp {
+    /// Look up a file by name (name in the request's segment).
+    Open = 1,
+    /// Create a file (name in the segment, size in aux).
+    Create = 2,
+    /// Read one block (page): answered with `ReplyWithSegment`.
+    Read = 3,
+    /// Write one block: data arrives appended to the request.
+    Write = 4,
+    /// Query file length.
+    Query = 5,
+    /// Large read: the server pushes the range with `MoveTo`s.
+    ReadLarge = 6,
+}
+
+impl IoOp {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<IoOp> {
+        Some(match b {
+            1 => IoOp::Open,
+            2 => IoOp::Create,
+            3 => IoOp::Read,
+            4 => IoOp::Write,
+            5 => IoOp::Query,
+            6 => IoOp::ReadLarge,
+            _ => return None,
+        })
+    }
+}
+
+/// Reply status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum IoStatus {
+    /// Success.
+    Ok = 0,
+    /// No such file.
+    NotFound = 1,
+    /// Name already exists.
+    Exists = 2,
+    /// Block out of range.
+    BadBlock = 3,
+    /// Transfer or protocol failure.
+    Error = 4,
+}
+
+impl IoStatus {
+    /// Decodes a status byte.
+    pub fn from_u8(b: u8) -> IoStatus {
+        match b {
+            0 => IoStatus::Ok,
+            1 => IoStatus::NotFound,
+            2 => IoStatus::Exists,
+            3 => IoStatus::BadBlock,
+            _ => IoStatus::Error,
+        }
+    }
+}
+
+/// A decoded I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRequest {
+    /// Operation.
+    pub op: IoOp,
+    /// Target file (ignored by open/create).
+    pub file: FileId,
+    /// Block number.
+    pub block: u32,
+    /// Byte count.
+    pub count: u32,
+    /// Client buffer address (for reads).
+    pub buffer: u32,
+    /// Auxiliary word (create size).
+    pub aux: u32,
+    /// Client-chosen tag echoed in the reply.
+    pub tag: u16,
+}
+
+impl IoRequest {
+    /// Encodes into a message (segment bits are the caller's business —
+    /// reads grant write access on the buffer, writes/opens grant read
+    /// access on the data/name).
+    pub fn encode(&self) -> Message {
+        let mut m = Message::empty();
+        m.set_byte(1, self.op as u8);
+        m.set_u16(2, self.file.0);
+        m.set_u32(4, self.block);
+        m.set_u32(8, self.count);
+        m.set_u32(12, self.buffer);
+        m.set_u32(16, self.aux);
+        m.set_u16(20, self.tag);
+        m
+    }
+
+    /// Decodes from a message; `None` for unknown opcodes.
+    pub fn decode(m: &Message) -> Option<IoRequest> {
+        Some(IoRequest {
+            op: IoOp::from_u8(m.byte(1))?,
+            file: FileId(m.get_u16(2)),
+            block: m.get_u32(4),
+            count: m.get_u32(8),
+            buffer: m.get_u32(12),
+            aux: m.get_u32(16),
+            tag: m.get_u16(20),
+        })
+    }
+}
+
+/// A decoded I/O reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoReply {
+    /// Outcome.
+    pub status: IoStatus,
+    /// File id (open/create).
+    pub file: FileId,
+    /// Operation-dependent value (bytes read/written, file length).
+    pub value: u32,
+    /// Echo of the request tag.
+    pub tag: u16,
+}
+
+impl IoReply {
+    /// Encodes into a message.
+    pub fn encode(&self) -> Message {
+        let mut m = Message::empty();
+        m.set_byte(1, self.status as u8);
+        m.set_u16(2, self.file.0);
+        m.set_u32(4, self.value);
+        m.set_u16(20, self.tag);
+        m
+    }
+
+    /// Decodes from a message.
+    pub fn decode(m: &Message) -> IoReply {
+        IoReply {
+            status: IoStatus::from_u8(m.byte(1)),
+            file: FileId(m.get_u16(2)),
+            value: m.get_u32(4),
+            tag: m.get_u16(20),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let r = IoRequest {
+            op: IoOp::Read,
+            file: FileId(7),
+            block: 42,
+            count: 512,
+            buffer: 0x2000,
+            aux: 9,
+            tag: 0xABCD,
+        };
+        assert_eq!(IoRequest::decode(&r.encode()), Some(r));
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let r = IoReply {
+            status: IoStatus::BadBlock,
+            file: FileId(3),
+            value: 65536,
+            tag: 17,
+        };
+        assert_eq!(IoReply::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut m = Message::empty();
+        m.set_byte(1, 99);
+        assert_eq!(IoRequest::decode(&m), None);
+    }
+
+    #[test]
+    fn segment_bits_do_not_clobber_fields() {
+        use v_kernel::Access;
+        let r = IoRequest {
+            op: IoOp::Write,
+            file: FileId(1),
+            block: 2,
+            count: 512,
+            buffer: 0x3000,
+            aux: 0,
+            tag: 5,
+        };
+        let mut m = r.encode();
+        m.set_segment(0x3000, 512, Access::Read);
+        assert_eq!(IoRequest::decode(&m), Some(r));
+        assert!(m.segment().is_some());
+    }
+
+    #[test]
+    fn all_opcodes_round_trip() {
+        for op in [
+            IoOp::Open,
+            IoOp::Create,
+            IoOp::Read,
+            IoOp::Write,
+            IoOp::Query,
+            IoOp::ReadLarge,
+        ] {
+            assert_eq!(IoOp::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(IoOp::from_u8(0), None);
+    }
+}

@@ -1,0 +1,400 @@
+//! The file-server process.
+//!
+//! One V process serving the Verex I/O protocol over V IPC:
+//!
+//! * page **reads** are `Receive` → disk → `ReplyWithSegment` (two
+//!   packets on the wire, §3.4);
+//! * page **writes** arrive with the data appended to the request
+//!   (`ReceiveWithSegment`); any remainder beyond the appended prefix is
+//!   pulled with `MoveFrom`;
+//! * **large reads** (program loading) are pushed with `MoveTo`s of at
+//!   most one transfer unit — the paper's VAX server used 4 KB;
+//! * sequential reads trigger **read-ahead**: the next block is fetched
+//!   from the disk model while the client digests the current one
+//!   (Table 6-2's structure).
+
+use v_kernel::{naming, Api, Outcome, Pid, Program, Scope};
+use v_sim::SimDuration;
+
+use crate::disk::DiskModel;
+use crate::proto::{IoOp, IoReply, IoRequest, IoStatus};
+use crate::store::{BlockStore, FileId, StoreError};
+use crate::BLOCK_SIZE;
+
+/// Where request segments (names, write data) land in the server space.
+pub const SRV_IN: u32 = 0x0400;
+/// Staging buffer for outgoing data.
+pub const SRV_OUT: u32 = 0x10000;
+
+/// File-server configuration.
+pub struct FileServerConfig {
+    /// The disk behind the store.
+    pub disk: DiskModel,
+    /// File-system processing charged per request (the paper estimates
+    /// 2.5 ms at 10 MHz for a local system, 3.5 ms from LOCUS for
+    /// capacity planning).
+    pub fs_cpu: SimDuration,
+    /// `MoveTo`/`MoveFrom` chunking for large transfers.
+    pub transfer_unit: u32,
+    /// Prefetch the next sequential block after each read.
+    pub read_ahead: bool,
+    /// Register under this logical id at startup (scope `Both`).
+    pub register: Option<u32>,
+}
+
+impl Default for FileServerConfig {
+    fn default() -> Self {
+        FileServerConfig {
+            disk: DiskModel::fixed(SimDuration::from_millis(15)),
+            fs_cpu: SimDuration::from_micros(2500),
+            transfer_unit: 4096,
+            read_ahead: true,
+            register: Some(naming::logical::FILE_SERVER),
+        }
+    }
+}
+
+/// Counters the server accumulates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileServerStats {
+    /// Requests served, by rough class.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Large reads served.
+    pub large_reads: u64,
+    /// Opens/creates/queries served.
+    pub meta: u64,
+    /// Requests refused with an error status.
+    pub errors: u64,
+    /// Read-ahead hits (no disk wait).
+    pub readahead_hits: u64,
+}
+
+enum Phase {
+    Idle,
+    FsWork,
+    DiskWait,
+    FetchRest { have: u32 },
+    Pushing { pushed: u32 },
+}
+
+struct Current {
+    from: Pid,
+    req: IoRequest,
+    seg_len: u32,
+}
+
+/// The file-server program.
+pub struct FileServer {
+    cfg: FileServerConfig,
+    store: BlockStore,
+    /// Shared stats probe (single-threaded simulator).
+    pub stats: std::rc::Rc<std::cell::RefCell<FileServerStats>>,
+    phase: Phase,
+    current: Option<Current>,
+    /// (file, block) the pending read-ahead will satisfy, and when the
+    /// disk will have it.
+    prefetch: Option<(FileId, u32, v_sim::SimTime)>,
+}
+
+impl FileServer {
+    /// Creates a file server over a pre-populated store.
+    pub fn new(cfg: FileServerConfig, store: BlockStore) -> FileServer {
+        FileServer {
+            cfg,
+            store,
+            stats: Default::default(),
+            phase: Phase::Idle,
+            current: None,
+            prefetch: None,
+        }
+    }
+
+    /// Handle to the server's counters.
+    pub fn stats_handle(&self) -> std::rc::Rc<std::cell::RefCell<FileServerStats>> {
+        self.stats.clone()
+    }
+
+    fn rearm(&mut self, api: &mut Api<'_>) {
+        self.phase = Phase::Idle;
+        self.current = None;
+        api.receive_with_segment(SRV_IN, BLOCK_SIZE as u32);
+    }
+
+    fn reply_status(&mut self, api: &mut Api<'_>, status: IoStatus, value: u32, file: FileId) {
+        let cur = self.current.as_ref().expect("request in progress");
+        if status != IoStatus::Ok {
+            self.stats.borrow_mut().errors += 1;
+        }
+        let reply = IoReply {
+            status,
+            file,
+            value,
+            tag: cur.req.tag,
+        }
+        .encode();
+        let _ = api.reply(reply, cur.from);
+        self.rearm(api);
+    }
+
+    fn store_status(e: StoreError) -> IoStatus {
+        match e {
+            StoreError::NotFound => IoStatus::NotFound,
+            StoreError::Exists => IoStatus::Exists,
+            StoreError::BadBlock => IoStatus::BadBlock,
+        }
+    }
+
+    /// Dispatch after the fs-processing charge.
+    fn dispatch(&mut self, api: &mut Api<'_>) {
+        let cur = self.current.as_ref().expect("request in progress");
+        let req = cur.req;
+        let seg_len = cur.seg_len;
+        match req.op {
+            IoOp::Open => {
+                self.stats.borrow_mut().meta += 1;
+                let name_bytes = api.mem_read(SRV_IN, seg_len as usize).expect("in buffer");
+                let name = String::from_utf8_lossy(&name_bytes).into_owned();
+                match self.store.open(&name) {
+                    Ok(id) => {
+                        let len = self.store.len(id).expect("exists") as u32;
+                        self.reply_status(api, IoStatus::Ok, len, id);
+                    }
+                    Err(e) => self.reply_status(api, Self::store_status(e), 0, FileId(0)),
+                }
+            }
+            IoOp::Create => {
+                self.stats.borrow_mut().meta += 1;
+                let name_bytes = api.mem_read(SRV_IN, seg_len as usize).expect("in buffer");
+                let name = String::from_utf8_lossy(&name_bytes).into_owned();
+                match self.store.create(&name, req.aux as usize) {
+                    Ok(id) => self.reply_status(api, IoStatus::Ok, req.aux, id),
+                    Err(e) => self.reply_status(api, Self::store_status(e), 0, FileId(0)),
+                }
+            }
+            IoOp::Query => {
+                self.stats.borrow_mut().meta += 1;
+                match self.store.len(req.file) {
+                    Ok(len) => self.reply_status(api, IoStatus::Ok, len as u32, req.file),
+                    Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+                }
+            }
+            IoOp::Read => {
+                // Read-ahead hit?
+                if let Some((f, b, ready)) = self.prefetch {
+                    if f == req.file && b == req.block {
+                        self.prefetch = None;
+                        if api.now() >= ready {
+                            self.stats.borrow_mut().readahead_hits += 1;
+                            self.serve_read(api);
+                            return;
+                        }
+                        // Prefetch still spinning: wait out the rest.
+                        self.phase = Phase::DiskWait;
+                        api.delay(ready.since(api.now()));
+                        return;
+                    }
+                }
+                let done = self
+                    .cfg
+                    .disk
+                    .request(api.now(), req.count.min(BLOCK_SIZE as u32) as usize);
+                self.phase = Phase::DiskWait;
+                api.delay(done.since(api.now()));
+            }
+            IoOp::Write => {
+                let count = req.count.min(BLOCK_SIZE as u32);
+                if seg_len < count {
+                    // The appended prefix didn't cover the block: pull
+                    // the rest from the client's granted segment.
+                    self.phase = Phase::FetchRest { have: seg_len };
+                    let grant_start = req.buffer; // client buffer address
+                    api.move_from(
+                        cur.from,
+                        SRV_IN + seg_len,
+                        grant_start + seg_len,
+                        count - seg_len,
+                    );
+                } else {
+                    let done = self.cfg.disk.request(api.now(), count as usize);
+                    self.phase = Phase::DiskWait;
+                    api.delay(done.since(api.now()));
+                }
+            }
+            IoOp::ReadLarge => {
+                let done = self.cfg.disk.request(api.now(), req.count as usize);
+                self.phase = Phase::DiskWait;
+                api.delay(done.since(api.now()));
+            }
+        }
+    }
+
+    /// Completes a single-block read after the disk wait.
+    fn serve_read(&mut self, api: &mut Api<'_>) {
+        let cur = self.current.as_ref().expect("request in progress");
+        let req = cur.req;
+        let from = cur.from;
+        match self.store.read_block(req.file, req.block, req.count as usize) {
+            Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+            Ok(data) => {
+                let n = data.len() as u32;
+                let data = data.to_vec();
+                api.mem_write(SRV_OUT, &data).expect("staging fits");
+                let reply = IoReply {
+                    status: IoStatus::Ok,
+                    file: req.file,
+                    value: n,
+                    tag: req.tag,
+                }
+                .encode();
+                if api
+                    .reply_with_segment(reply, from, req.buffer, SRV_OUT, n)
+                    .is_err()
+                {
+                    self.stats.borrow_mut().errors += 1;
+                }
+                self.stats.borrow_mut().reads += 1;
+                // Read-ahead: start fetching the next block now.
+                if self.cfg.read_ahead {
+                    let next = req.block + 1;
+                    if self
+                        .store
+                        .read_block(req.file, next, BLOCK_SIZE)
+                        .is_ok()
+                    {
+                        let ready = self.cfg.disk.request(api.now(), BLOCK_SIZE);
+                        self.prefetch = Some((req.file, next, ready));
+                    }
+                }
+                self.rearm(api);
+            }
+        }
+    }
+
+    /// Completes a write after data + disk are in.
+    fn serve_write(&mut self, api: &mut Api<'_>) {
+        let cur = self.current.as_ref().expect("request in progress");
+        let req = cur.req;
+        let count = req.count.min(BLOCK_SIZE as u32);
+        let data = api.mem_read(SRV_IN, count as usize).expect("in buffer");
+        match self.store.write_block(req.file, req.block, &data) {
+            Ok(()) => {
+                self.stats.borrow_mut().writes += 1;
+                self.reply_status(api, IoStatus::Ok, count, req.file);
+            }
+            Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+        }
+    }
+
+    /// Starts or continues the MoveTo push of a large read.
+    fn push_large(&mut self, api: &mut Api<'_>, pushed: u32) {
+        let cur = self.current.as_ref().expect("request in progress");
+        let req = cur.req;
+        let from = cur.from;
+        let n = self.cfg.transfer_unit.min(req.count - pushed);
+        self.phase = Phase::Pushing { pushed };
+        api.move_to(from, req.buffer + pushed, SRV_OUT + pushed, n);
+    }
+}
+
+impl Program for FileServer {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                if let Some(id) = self.cfg.register {
+                    api.set_pid(id, api.self_pid(), Scope::Both);
+                }
+                self.rearm(api);
+            }
+            Outcome::ReceiveSeg { from, msg, seg_len } => {
+                let Some(req) = IoRequest::decode(&msg) else {
+                    // Unknown request: answer with an error so the client
+                    // is not left blocked forever.
+                    self.current = Some(Current {
+                        from,
+                        req: IoRequest {
+                            op: IoOp::Query,
+                            file: FileId(0),
+                            block: 0,
+                            count: 0,
+                            buffer: 0,
+                            aux: 0,
+                            tag: msg.get_u16(20),
+                        },
+                        seg_len: 0,
+                    });
+                    self.reply_status(api, IoStatus::Error, 0, FileId(0));
+                    return;
+                };
+                self.current = Some(Current { from, req, seg_len });
+                self.phase = Phase::FsWork;
+                api.compute(self.cfg.fs_cpu);
+            }
+            Outcome::Compute => self.dispatch(api),
+            Outcome::Delay => {
+                // Disk finished.
+                let op = self.current.as_ref().expect("request in progress").req.op;
+                match op {
+                    IoOp::Read => self.serve_read(api),
+                    IoOp::Write => self.serve_write(api),
+                    IoOp::ReadLarge => {
+                        let cur = self.current.as_ref().expect("in progress");
+                        let req = cur.req;
+                        match self
+                            .store
+                            .read_range(req.file, req.block as usize * BLOCK_SIZE, req.count as usize)
+                        {
+                            Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+                            Ok(data) => {
+                                let data = data.to_vec();
+                                api.mem_write(SRV_OUT, &data).expect("staging fits");
+                                self.push_large(api, 0);
+                            }
+                        }
+                    }
+                    _ => self.rearm(api),
+                }
+            }
+            Outcome::Move(Ok(n)) => match self.phase {
+                Phase::FetchRest { have } => {
+                    let count = {
+                        let cur = self.current.as_ref().expect("in progress");
+                        cur.req.count.min(BLOCK_SIZE as u32)
+                    };
+                    let have = have + n;
+                    if have < count {
+                        self.phase = Phase::FetchRest { have };
+                        let cur = self.current.as_ref().expect("in progress");
+                        let (from, buffer) = (cur.from, cur.req.buffer);
+                        api.move_from(from, SRV_IN + have, buffer + have, count - have);
+                    } else {
+                        let done = self.cfg.disk.request(api.now(), count as usize);
+                        self.phase = Phase::DiskWait;
+                        api.delay(done.since(api.now()));
+                    }
+                }
+                Phase::Pushing { pushed } => {
+                    let (count, file, tag) = {
+                        let cur = self.current.as_ref().expect("in progress");
+                        (cur.req.count, cur.req.file, cur.req.tag)
+                    };
+                    let pushed = pushed + n;
+                    if pushed < count {
+                        self.push_large(api, pushed);
+                    } else {
+                        self.stats.borrow_mut().large_reads += 1;
+                        let _ = tag;
+                        self.reply_status(api, IoStatus::Ok, pushed, file);
+                    }
+                }
+                _ => self.rearm(api),
+            },
+            Outcome::Move(Err(_)) => {
+                self.stats.borrow_mut().errors += 1;
+                self.reply_status(api, IoStatus::Error, 0, FileId(0));
+            }
+            _ => api.exit(),
+        }
+    }
+}

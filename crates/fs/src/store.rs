@@ -1,0 +1,195 @@
+//! The server's block store and flat directory.
+
+use std::collections::HashMap;
+
+use crate::BLOCK_SIZE;
+
+/// A file identifier, as carried in I/O protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u16);
+
+/// Errors from the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// No such file id / name.
+    NotFound,
+    /// A file with that name already exists.
+    Exists,
+    /// Block index beyond the end of the file.
+    BadBlock,
+}
+
+#[derive(Debug, Clone)]
+struct File {
+    name: String,
+    data: Vec<u8>,
+}
+
+/// An in-memory block store with a flat name directory — the file
+/// server's filesystem state (the paper's servers expose UNIX files; the
+/// protocol only ever addresses (file id, block index) pairs).
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    files: Vec<File>,
+    by_name: HashMap<String, FileId>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> BlockStore {
+        BlockStore::default()
+    }
+
+    /// Creates a file with `size` zeroed bytes.
+    pub fn create(&mut self, name: &str, size: usize) -> Result<FileId, StoreError> {
+        if self.by_name.contains_key(name) {
+            return Err(StoreError::Exists);
+        }
+        let id = FileId(self.files.len() as u16);
+        self.files.push(File {
+            name: name.to_string(),
+            data: vec![0; size],
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Creates a file with the given contents.
+    pub fn create_with(&mut self, name: &str, data: &[u8]) -> Result<FileId, StoreError> {
+        let id = self.create(name, data.len())?;
+        self.files[id.0 as usize].data.copy_from_slice(data);
+        Ok(id)
+    }
+
+    /// Looks a file up by name.
+    pub fn open(&self, name: &str) -> Result<FileId, StoreError> {
+        self.by_name.get(name).copied().ok_or(StoreError::NotFound)
+    }
+
+    /// File length in bytes.
+    pub fn len(&self, id: FileId) -> Result<usize, StoreError> {
+        self.file(id).map(|f| f.data.len())
+    }
+
+    /// True if the store holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// A file's name.
+    pub fn name(&self, id: FileId) -> Result<&str, StoreError> {
+        self.file(id).map(|f| f.name.as_str())
+    }
+
+    fn file(&self, id: FileId) -> Result<&File, StoreError> {
+        self.files.get(id.0 as usize).ok_or(StoreError::NotFound)
+    }
+
+    fn file_mut(&mut self, id: FileId) -> Result<&mut File, StoreError> {
+        self.files.get_mut(id.0 as usize).ok_or(StoreError::NotFound)
+    }
+
+    /// Reads up to `count` bytes of block `block` (the tail block may be
+    /// short).
+    pub fn read_block(
+        &self,
+        id: FileId,
+        block: u32,
+        count: usize,
+    ) -> Result<&[u8], StoreError> {
+        let f = self.file(id)?;
+        let start = block as usize * BLOCK_SIZE;
+        if start >= f.data.len() && !(start == 0 && f.data.is_empty()) {
+            return Err(StoreError::BadBlock);
+        }
+        let end = (start + count.min(BLOCK_SIZE)).min(f.data.len());
+        Ok(&f.data[start..end])
+    }
+
+    /// Reads an arbitrary byte range (large reads / program images).
+    pub fn read_range(&self, id: FileId, offset: usize, count: usize) -> Result<&[u8], StoreError> {
+        let f = self.file(id)?;
+        if offset > f.data.len() {
+            return Err(StoreError::BadBlock);
+        }
+        let end = (offset + count).min(f.data.len());
+        Ok(&f.data[offset..end])
+    }
+
+    /// Writes `data` at block `block`, growing the file if needed.
+    pub fn write_block(&mut self, id: FileId, block: u32, data: &[u8]) -> Result<(), StoreError> {
+        if data.len() > BLOCK_SIZE {
+            return Err(StoreError::BadBlock);
+        }
+        let f = self.file_mut(id)?;
+        let start = block as usize * BLOCK_SIZE;
+        let end = start + data.len();
+        if end > f.data.len() {
+            f.data.resize(end, 0);
+        }
+        f.data[start..end].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_read_write() {
+        let mut s = BlockStore::new();
+        let id = s.create("prog", 1024).unwrap();
+        assert_eq!(s.open("prog").unwrap(), id);
+        assert_eq!(s.len(id).unwrap(), 1024);
+        assert_eq!(s.name(id).unwrap(), "prog");
+        s.write_block(id, 1, &[7u8; 512]).unwrap();
+        assert_eq!(s.read_block(id, 1, 512).unwrap(), &[7u8; 512][..]);
+        assert_eq!(s.read_block(id, 0, 512).unwrap(), &[0u8; 512][..]);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut s = BlockStore::new();
+        s.create("x", 1).unwrap();
+        assert_eq!(s.create("x", 1).unwrap_err(), StoreError::Exists);
+    }
+
+    #[test]
+    fn missing_file_fails() {
+        let s = BlockStore::new();
+        assert_eq!(s.open("nope").unwrap_err(), StoreError::NotFound);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_block_fails() {
+        let mut s = BlockStore::new();
+        let id = s.create("f", 600).unwrap();
+        assert!(s.read_block(id, 0, 512).is_ok());
+        // Block 1 exists (short tail), block 2 does not.
+        assert_eq!(s.read_block(id, 1, 512).unwrap().len(), 88);
+        assert_eq!(s.read_block(id, 2, 512).unwrap_err(), StoreError::BadBlock);
+    }
+
+    #[test]
+    fn write_grows_file() {
+        let mut s = BlockStore::new();
+        let id = s.create("g", 0).unwrap();
+        s.write_block(id, 2, &[1u8; 512]).unwrap();
+        assert_eq!(s.len(id).unwrap(), 3 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn read_range_clamps_to_eof() {
+        let mut s = BlockStore::new();
+        let id = s.create_with("h", &[9u8; 100]).unwrap();
+        assert_eq!(s.read_range(id, 50, 100).unwrap().len(), 50);
+        assert_eq!(s.read_range(id, 101, 1).unwrap_err(), StoreError::BadBlock);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-station network interface state.
+
+use v_sim::SimTime;
+
+use crate::frame::MacAddr;
+
+/// A station's network interface.
+///
+/// The paper's interfaces are programmed-I/O: the processor copies each
+/// outgoing frame into the interface and each incoming frame out of it.
+/// The transmit side is **single-buffered** — the next copy-in cannot
+/// begin until the previous frame has finished transmitting. (The receive
+/// side has "considerable on-board buffering", so we do not model receive
+/// overruns.)
+///
+/// Copy costs are CPU-speed dependent and are charged by the kernel's cost
+/// model; the NIC only tracks *when the transmit buffer frees up* plus
+/// some counters.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    mac: MacAddr,
+    /// Instant the transmit buffer becomes free (end of last transmission).
+    tx_free: SimTime,
+    /// Frames handed to the medium.
+    pub tx_frames: u64,
+    /// Payload bytes handed to the medium.
+    pub tx_bytes: u64,
+    /// Frames received (after medium-level loss).
+    pub rx_frames: u64,
+    /// Payload bytes received.
+    pub rx_bytes: u64,
+    /// Received frames discarded for checksum failure.
+    pub rx_bad: u64,
+}
+
+impl Nic {
+    /// Creates an interface for station `mac`.
+    pub fn new(mac: MacAddr) -> Self {
+        Nic {
+            mac,
+            tx_free: SimTime::ZERO,
+            tx_frames: 0,
+            tx_bytes: 0,
+            rx_frames: 0,
+            rx_bytes: 0,
+            rx_bad: 0,
+        }
+    }
+
+    /// This station's address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Earliest instant a new copy-in may begin.
+    pub fn tx_ready_after(&self, now: SimTime) -> SimTime {
+        now.max(self.tx_free)
+    }
+
+    /// Records a transmission occupying the buffer until `tx_end`.
+    pub fn note_tx(&mut self, tx_end: SimTime, bytes: usize) {
+        debug_assert!(tx_end >= self.tx_free);
+        self.tx_free = tx_end;
+        self.tx_frames += 1;
+        self.tx_bytes += bytes as u64;
+    }
+
+    /// Records a frame reception.
+    pub fn note_rx(&mut self, bytes: usize) {
+        self.rx_frames += 1;
+        self.rx_bytes += bytes as u64;
+    }
+
+    /// Records a checksum-failed reception.
+    pub fn note_rx_bad(&mut self) {
+        self.rx_bad += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v_sim::SimDuration;
+
+    #[test]
+    fn tx_buffer_serializes() {
+        let mut nic = Nic::new(MacAddr(1));
+        let now = SimTime::from_millis(1);
+        assert_eq!(nic.tx_ready_after(now), now);
+        nic.note_tx(SimTime::from_millis(3), 64);
+        // A copy requested at t=2 must wait for the buffer.
+        assert_eq!(
+            nic.tx_ready_after(SimTime::from_millis(2)),
+            SimTime::from_millis(3)
+        );
+        // A copy requested later starts immediately.
+        let later = SimTime::from_millis(3) + SimDuration::from_micros(1);
+        assert_eq!(nic.tx_ready_after(later), later);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut nic = Nic::new(MacAddr(7));
+        nic.note_tx(SimTime::from_millis(1), 100);
+        nic.note_tx(SimTime::from_millis(2), 28);
+        nic.note_rx(64);
+        nic.note_rx_bad();
+        assert_eq!(nic.tx_frames, 2);
+        assert_eq!(nic.tx_bytes, 128);
+        assert_eq!(nic.rx_frames, 1);
+        assert_eq!(nic.rx_bytes, 64);
+        assert_eq!(nic.rx_bad, 1);
+        assert_eq!(nic.mac(), MacAddr(7));
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate provides the substrate on which the whole V kernel
+//! reproduction runs:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
+//! * [`EventQueue`] — a time-ordered event queue with deterministic
+//!   tie-breaking (events scheduled at the same instant pop in scheduling
+//!   order);
+//! * [`SplitMix64`] — a tiny, fast, seedable PRNG used for fault injection
+//!   and workload generation so every run is reproducible;
+//! * [`OnlineStats`] / [`Histogram`] — streaming statistics used by the
+//!   measurement harness.
+//!
+//! The engine is intentionally single-threaded: the paper's evaluation
+//! depends on precise ordering of sub-millisecond events across simulated
+//! hosts, and determinism is worth far more here than parallel speedup.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SplitMix64;
+pub use stats::{Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};

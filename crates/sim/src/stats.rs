@@ -1,0 +1,288 @@
+//! Streaming statistics for the measurement harness.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// The paper reports per-operation times obtained by running an operation
+/// N (typically 1000) times and dividing; the harness additionally records
+/// per-trial spread through this accumulator, which the original authors
+/// could not easily do with a ±10 ms software clock.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Adds a duration observation, recorded in milliseconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_millis_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Fixed-width linear histogram, used for latency distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` bins of `width` starting at `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or `buckets == 0`.
+    pub fn new(lo: f64, width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0 && buckets > 0, "invalid histogram shape");
+        Histogram {
+            lo,
+            width,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total recorded observations, including out-of-range ones.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of observations below range / above range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * self.width;
+            }
+        }
+        self.lo + self.width * self.buckets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sequence() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * 7 % 13) as f64).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn push_duration_records_millis() {
+        let mut s = OnlineStats::new();
+        s.push_duration(SimDuration::from_micros(2500));
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_basic() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9, -1.0, 11.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(9), 1);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.1);
+        }
+        let median = h.quantile(0.5);
+        assert!((median - 49.5).abs() <= 1.0, "median={median}");
+        assert_eq!(h.quantile(0.0), 0.5);
+    }
+}

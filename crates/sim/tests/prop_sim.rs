@@ -1,0 +1,78 @@
+//! Property tests for the simulation engine.
+
+use proptest::prelude::*;
+use v_sim::{EventQueue, OnlineStats, SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and same-time
+    /// events pop in scheduling order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "same-time events must be FIFO");
+                }
+            }
+            prop_assert_eq!(t, SimTime::from_nanos(times[idx]));
+            last = Some((t, idx));
+        }
+        prop_assert_eq!(q.now(), SimTime::from_nanos(*times.iter().max().unwrap()));
+    }
+
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging partitions equals processing the concatenation.
+    #[test]
+    fn stats_merge_is_concatenation(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..50),
+        ys in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let mut whole = OnlineStats::new();
+        for &x in xs.iter().chain(&ys) {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs { a.push(x); }
+        for &y in &ys { b.push(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs()
+            < 1e-7 * whole.variance().abs().max(1.0));
+    }
+
+    /// Duration arithmetic is consistent with nanosecond arithmetic.
+    #[test]
+    fn duration_arithmetic(a in 0u64..1u64<<40, b in 0u64..1u64<<40, k in 0u64..1000) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!((da - db).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!((da * k).as_nanos(), a * k);
+        let t = SimTime::from_nanos(a) + db;
+        prop_assert_eq!(t.as_nanos(), a + b);
+        prop_assert_eq!((t - SimTime::from_nanos(a)).as_nanos(), b);
+    }
+}

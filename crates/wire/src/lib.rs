@@ -1,0 +1,25 @@
+//! The interkernel wire protocol.
+//!
+//! V kernels exchange *interkernel packets* at the raw data-link level —
+//! no transport layer underneath (§3 of the paper: "Interkernel packets
+//! use the 'raw' Ethernet data link level"; reliability comes from the
+//! Send/Reply exchange itself). This crate defines the packet vocabulary
+//! and a hand-rolled binary codec:
+//!
+//! * a fixed [`HEADER_LEN`]-byte header (kind, flags, sequence number,
+//!   source/destination pids, three kind-specific words, checksum), so a
+//!   32-byte message rides in a 64-byte datagram exactly as the paper's
+//!   packet accounting assumes;
+//! * per-kind payloads ([`Packet`]): message exchange (`Send`, `Reply`,
+//!   `ReplyPending`, `Nack`), bulk transfer (`MoveToData`, `MoveFromReq`,
+//!   `MoveFromData`, `TransferAck`) and naming (`GetPidReq`,
+//!   `GetPidReply`);
+//! * a 32-bit checksum over the whole packet, which is how receivers
+//!   detect the corruption injected by the simulated medium (including the
+//!   §5.4 collision-bug corruptions).
+
+pub mod codec;
+pub mod packet;
+
+pub use codec::{decode, encode, WireError};
+pub use packet::{MsgBytes, Packet, PacketKind, TransferStatus, HEADER_LEN, MSG_LEN};

@@ -1,0 +1,316 @@
+//! Packet vocabulary of the interkernel protocol.
+
+/// Length of the fixed interkernel header in bytes.
+///
+/// Chosen so that a [`MSG_LEN`]-byte message makes a 64-byte datagram,
+/// matching the packet sizes the paper's network-penalty accounting uses.
+pub const HEADER_LEN: usize = 32;
+
+/// Length of a V message: "all messages are a fixed 32 bytes in length".
+pub const MSG_LEN: usize = 32;
+
+/// Raw bytes of a V message as they appear on the wire.
+pub type MsgBytes = [u8; MSG_LEN];
+
+/// Discriminates packet kinds on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketKind {
+    /// A remote `Send`: carries the 32-byte message, plus — if the sender
+    /// granted read access to a segment — the first part of that segment
+    /// (the `ReceiveWithSegment` optimization of §3.4).
+    Send = 1,
+    /// A remote `Reply`: the 32-byte reply message, plus an optional short
+    /// segment written into the original sender's address space
+    /// (`ReplyWithSegment`).
+    Reply = 2,
+    /// "Still working on it": the receiver saw a retransmitted `Send` whose
+    /// reply has not been generated yet, or had to discard a new message
+    /// for want of alien descriptors.
+    ReplyPending = 3,
+    /// Negative acknowledgement: the addressed process does not exist.
+    Nack = 4,
+    /// One chunk of a `MoveTo` bulk transfer (kernel-to-kernel data push).
+    MoveToData = 5,
+    /// Request side of `MoveFrom`: asks the remote kernel to stream a
+    /// granted segment back, starting at a given offset.
+    MoveFromReq = 6,
+    /// One chunk of `MoveFrom` data flowing back to the requester.
+    MoveFromData = 7,
+    /// Transfer acknowledgement: reports how many bytes arrived in order.
+    /// A count smaller than the total asks the mover to resume from there
+    /// ("retransmission from the last correctly received data packet").
+    TransferAck = 8,
+    /// Broadcast logical-id lookup (`GetPid` miss).
+    GetPidReq = 9,
+    /// Answer to a [`PacketKind::GetPidReq`].
+    GetPidReply = 10,
+}
+
+impl PacketKind {
+    /// Decodes a kind byte.
+    pub fn from_u8(b: u8) -> Option<PacketKind> {
+        Some(match b {
+            1 => PacketKind::Send,
+            2 => PacketKind::Reply,
+            3 => PacketKind::ReplyPending,
+            4 => PacketKind::Nack,
+            5 => PacketKind::MoveToData,
+            6 => PacketKind::MoveFromReq,
+            7 => PacketKind::MoveFromData,
+            8 => PacketKind::TransferAck,
+            9 => PacketKind::GetPidReq,
+            10 => PacketKind::GetPidReply,
+            _ => return None,
+        })
+    }
+}
+
+/// Status carried by a [`Packet::TransferAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TransferStatus {
+    /// All data arrived; transfer complete.
+    Complete = 0,
+    /// In-order prefix received; mover should resume from `received`.
+    Partial = 1,
+    /// The transfer violated the destination's segment grant.
+    AccessViolation = 2,
+    /// No such transfer / process at the destination.
+    Unknown = 3,
+}
+
+impl TransferStatus {
+    /// Decodes a status byte.
+    pub fn from_u8(b: u8) -> Option<TransferStatus> {
+        Some(match b {
+            0 => TransferStatus::Complete,
+            1 => TransferStatus::Partial,
+            2 => TransferStatus::AccessViolation,
+            3 => TransferStatus::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+/// An interkernel packet.
+///
+/// `seq` disambiguates retransmissions: for message exchange it is the
+/// sending process's message sequence number ("the receiving kernel
+/// filters out retransmissions ... by comparing the message sequence
+/// number and source process"); for bulk transfer it identifies the
+/// transfer instance.
+///
+/// `src_pid` / `dst_pid` are the communicating processes' 32-bit globally
+/// unique identifiers; the logical-host subfield inside them is what the
+/// kernels use for network addressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Message / transfer sequence number.
+    pub seq: u32,
+    /// Sending process.
+    pub src_pid: u32,
+    /// Destination process.
+    pub dst_pid: u32,
+    /// Kind-specific contents.
+    pub body: Body,
+}
+
+/// Kind-specific packet contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// See [`PacketKind::Send`].
+    Send {
+        /// The 32-byte message.
+        msg: MsgBytes,
+        /// First part of the read-granted segment, if any (empty if the
+        /// message grants no read access or the segment is empty).
+        appended: Vec<u8>,
+        /// Address-space offset the appended bytes start at (the segment
+        /// start address from the message conventions).
+        appended_from: u32,
+    },
+    /// See [`PacketKind::Reply`].
+    Reply {
+        /// The 32-byte reply message.
+        msg: MsgBytes,
+        /// Destination address for `seg` in the original sender's space
+        /// (meaningful only when `seg` is non-empty).
+        seg_dest: u32,
+        /// Short segment transmitted with the reply (empty for plain
+        /// `Reply`).
+        seg: Vec<u8>,
+    },
+    /// See [`PacketKind::ReplyPending`].
+    ReplyPending,
+    /// See [`PacketKind::Nack`].
+    Nack,
+    /// See [`PacketKind::MoveToData`].
+    MoveToData {
+        /// Absolute destination address of this chunk in the destination
+        /// process's space.
+        dest: u32,
+        /// Offset of this chunk within the whole transfer.
+        offset: u32,
+        /// Total bytes in the whole transfer.
+        total: u32,
+        /// True on the final chunk — solicits the single [`Body::TransferAck`].
+        last: bool,
+        /// Chunk data.
+        data: Vec<u8>,
+    },
+    /// See [`PacketKind::MoveFromReq`].
+    MoveFromReq {
+        /// Absolute source address in the remote (granting) process.
+        src: u32,
+        /// Offset to resume from (0 for the initial request).
+        offset: u32,
+        /// Total bytes requested.
+        total: u32,
+    },
+    /// See [`PacketKind::MoveFromData`].
+    MoveFromData {
+        /// Offset of this chunk within the whole transfer.
+        offset: u32,
+        /// Total bytes in the whole transfer.
+        total: u32,
+        /// True on the final chunk.
+        last: bool,
+        /// Chunk data.
+        data: Vec<u8>,
+    },
+    /// See [`PacketKind::TransferAck`].
+    TransferAck {
+        /// Bytes received in order at the destination.
+        received: u32,
+        /// Transfer disposition.
+        status: TransferStatus,
+    },
+    /// See [`PacketKind::GetPidReq`].
+    GetPidReq {
+        /// Logical id being resolved (fileserver, nameserver, ...).
+        logical_id: u32,
+    },
+    /// See [`PacketKind::GetPidReply`].
+    GetPidReply {
+        /// Logical id this answers for.
+        logical_id: u32,
+        /// The pid registered under that logical id.
+        pid: u32,
+    },
+}
+
+impl Packet {
+    /// This packet's kind discriminator.
+    pub fn kind(&self) -> PacketKind {
+        match self.body {
+            Body::Send { .. } => PacketKind::Send,
+            Body::Reply { .. } => PacketKind::Reply,
+            Body::ReplyPending => PacketKind::ReplyPending,
+            Body::Nack => PacketKind::Nack,
+            Body::MoveToData { .. } => PacketKind::MoveToData,
+            Body::MoveFromReq { .. } => PacketKind::MoveFromReq,
+            Body::MoveFromData { .. } => PacketKind::MoveFromData,
+            Body::TransferAck { .. } => PacketKind::TransferAck,
+            Body::GetPidReq { .. } => PacketKind::GetPidReq,
+            Body::GetPidReply { .. } => PacketKind::GetPidReply,
+        }
+    }
+
+    /// Number of payload bytes this packet adds on top of the header.
+    pub fn payload_len(&self) -> usize {
+        match &self.body {
+            Body::Send { appended, .. } => MSG_LEN + appended.len(),
+            Body::Reply { seg, .. } => MSG_LEN + seg.len(),
+            Body::MoveToData { data, .. } | Body::MoveFromData { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+
+    /// Total on-wire size (header + payload).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_u8() {
+        for k in [
+            PacketKind::Send,
+            PacketKind::Reply,
+            PacketKind::ReplyPending,
+            PacketKind::Nack,
+            PacketKind::MoveToData,
+            PacketKind::MoveFromReq,
+            PacketKind::MoveFromData,
+            PacketKind::TransferAck,
+            PacketKind::GetPidReq,
+            PacketKind::GetPidReply,
+        ] {
+            assert_eq!(PacketKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(PacketKind::from_u8(0), None);
+        assert_eq!(PacketKind::from_u8(99), None);
+    }
+
+    #[test]
+    fn status_round_trips_through_u8() {
+        for s in [
+            TransferStatus::Complete,
+            TransferStatus::Partial,
+            TransferStatus::AccessViolation,
+            TransferStatus::Unknown,
+        ] {
+            assert_eq!(TransferStatus::from_u8(s as u8), Some(s));
+        }
+        assert_eq!(TransferStatus::from_u8(7), None);
+    }
+
+    #[test]
+    fn a_plain_message_is_a_64_byte_datagram() {
+        let p = Packet {
+            seq: 1,
+            src_pid: 2,
+            dst_pid: 3,
+            body: Body::Send {
+                msg: [0; MSG_LEN],
+                appended: vec![],
+                appended_from: 0,
+            },
+        };
+        assert_eq!(p.wire_len(), 64);
+    }
+
+    #[test]
+    fn payload_lengths() {
+        let ack = Packet {
+            seq: 0,
+            src_pid: 0,
+            dst_pid: 0,
+            body: Body::TransferAck {
+                received: 10,
+                status: TransferStatus::Complete,
+            },
+        };
+        assert_eq!(ack.payload_len(), 0);
+        assert_eq!(ack.wire_len(), HEADER_LEN);
+
+        let data = Packet {
+            seq: 0,
+            src_pid: 0,
+            dst_pid: 0,
+            body: Body::MoveToData {
+                dest: 0,
+                offset: 0,
+                total: 100,
+                last: true,
+                data: vec![0; 100],
+            },
+        };
+        assert_eq!(data.payload_len(), 100);
+    }
+}

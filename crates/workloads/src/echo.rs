@@ -1,0 +1,205 @@
+//! Message-exchange ping-pong (the `Send-Receive-Reply` rows of Tables
+//! 5-1 and 5-2) and the `GetTime` row.
+
+use v_kernel::{Api, Message, Outcome, Pid, Program};
+use v_sim::{SimDuration, SplitMix64};
+
+use crate::measure::{Probe, RunReport};
+
+/// Replies to every message with the message itself, forever.
+pub struct EchoServer;
+
+impl Program for EchoServer {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => api.receive(),
+            Outcome::Receive { from, msg } => {
+                // A failed reply means the sender vanished; keep serving.
+                let _ = api.reply(msg, from);
+                api.receive();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Performs `n` message exchanges with `server` and records timing.
+///
+/// An optional per-iteration jitter delay decorrelates concurrent pairs
+/// (real workstations are never phase-locked the way a deterministic
+/// simulator is); its total is recorded as loop overhead and subtracted
+/// from the per-operation time, exactly as the paper subtracts loop
+/// artifacts.
+pub struct Pinger {
+    /// The echo server to exchange with.
+    pub server: Pid,
+    /// Exchanges to perform.
+    pub n: u64,
+    /// Where results accumulate.
+    pub report: Probe<RunReport>,
+    /// Maximum per-iteration jitter (`ZERO` disables).
+    jitter_max: SimDuration,
+    rng: SplitMix64,
+    done: u64,
+}
+
+impl Pinger {
+    /// Creates a pinger for `n` exchanges.
+    pub fn new(server: Pid, n: u64, report: Probe<RunReport>) -> Pinger {
+        Pinger {
+            server,
+            n,
+            report,
+            jitter_max: SimDuration::ZERO,
+            rng: SplitMix64::new(0),
+            done: 0,
+        }
+    }
+
+    /// Adds uniform per-iteration jitter in `[0, max)`.
+    pub fn with_jitter(mut self, max: SimDuration, seed: u64) -> Pinger {
+        self.jitter_max = max;
+        self.rng = SplitMix64::new(seed);
+        self
+    }
+
+    fn send_next(&self, api: &mut Api<'_>) {
+        let mut m = Message::empty();
+        m.set_u32(4, self.done as u32);
+        api.send(m, self.server);
+    }
+
+    fn next_step(&mut self, api: &mut Api<'_>) {
+        if self.jitter_max.is_zero() {
+            self.send_next(api);
+        } else {
+            let j = SimDuration::from_nanos(self.rng.below(self.jitter_max.as_nanos().max(1)));
+            self.report.borrow_mut().deducted += j;
+            api.delay(j);
+        }
+    }
+}
+
+impl Program for Pinger {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                self.report.borrow_mut().started = Some(api.now());
+                self.next_step(api);
+            }
+            Outcome::Delay => self.send_next(api),
+            Outcome::Send(Ok(reply)) => {
+                let mut r = self.report.borrow_mut();
+                if reply.get_u32(4) != self.done as u32 {
+                    r.integrity_errors += 1;
+                }
+                r.iterations += 1;
+                drop(r);
+                self.done += 1;
+                if self.done < self.n {
+                    self.next_step(api);
+                } else {
+                    self.report.borrow_mut().finished = Some(api.now());
+                    api.exit();
+                }
+            }
+            Outcome::Send(Err(_)) => {
+                let mut r = self.report.borrow_mut();
+                r.failures += 1;
+                r.finished = Some(api.now());
+                drop(r);
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Invokes `GetTime` `n` times (the paper's minimal-kernel-overhead row).
+pub struct GetTimeLooper {
+    /// Calls to perform.
+    pub n: u64,
+    /// Where results accumulate.
+    pub report: Probe<RunReport>,
+}
+
+impl Program for GetTimeLooper {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        if let Outcome::Started = outcome {
+            self.report.borrow_mut().started = Some(api.now());
+            for _ in 0..self.n {
+                let _ = api.get_time();
+            }
+            let mut r = self.report.borrow_mut();
+            r.iterations = self.n;
+            r.finished = Some(api.now());
+        }
+        api.exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::probe;
+    use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
+
+    #[test]
+    fn local_exchange_loop_completes() {
+        let cfg = ClusterConfig::three_mb().with_host(CpuSpeed::Mc68000At8MHz);
+        let mut cl = Cluster::new(cfg);
+        let server = cl.spawn(HostId(0), "echo", Box::new(EchoServer));
+        let rep = probe(RunReport::default());
+        cl.spawn(
+            HostId(0),
+            "ping",
+            Box::new(Pinger::new(server, 100, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow();
+        assert!(r.clean(), "{r:?}");
+        assert_eq!(r.iterations, 100);
+        // Paper: 1.00 ms per local exchange at 8 MHz.
+        let ms = r.per_op_ms();
+        assert!((ms - 1.0).abs() < 0.05, "local SRR = {ms:.3} ms");
+    }
+
+    #[test]
+    fn remote_exchange_loop_completes() {
+        let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
+        let mut cl = Cluster::new(cfg);
+        let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+        let rep = probe(RunReport::default());
+        cl.spawn(
+            HostId(0),
+            "ping",
+            Box::new(Pinger::new(server, 100, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow();
+        assert!(r.clean(), "{r:?}");
+        // Paper: 3.18 ms per remote exchange at 8 MHz. Wide tolerance
+        // here; the calibration test in v-bench pins it tightly.
+        let ms = r.per_op_ms();
+        assert!((2.5..4.0).contains(&ms), "remote SRR = {ms:.3} ms");
+    }
+
+    #[test]
+    fn gettime_costs_the_minimal_overhead() {
+        let cfg = ClusterConfig::three_mb().with_host(CpuSpeed::Mc68000At8MHz);
+        let mut cl = Cluster::new(cfg);
+        let rep = probe(RunReport::default());
+        cl.spawn(
+            HostId(0),
+            "gettime",
+            Box::new(GetTimeLooper {
+                n: 1000,
+                report: rep.clone(),
+            }),
+        );
+        cl.run();
+        let r = rep.borrow();
+        let ms = r.per_op_ms();
+        assert!((ms - 0.07).abs() < 0.005, "GetTime = {ms:.3} ms");
+    }
+}

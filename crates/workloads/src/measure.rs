@@ -1,0 +1,157 @@
+//! Measurement probes and reports.
+//!
+//! Workload programs are moved into the cluster, so the harness observes
+//! them through shared [`Probe`] handles (`Rc<RefCell<_>>` — the simulator
+//! is single-threaded by design). Each benchmark program records its
+//! start/finish instants and iteration count; the harness combines those
+//! with host CPU busy-time deltas to produce per-operation elapsed and
+//! processor times, exactly the quantities the paper reports.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use v_kernel::{Cluster, HostId};
+use v_sim::{SimDuration, SimTime};
+
+/// Shared handle between the harness and a workload program.
+pub type Probe<T> = Rc<RefCell<T>>;
+
+/// Creates a probe.
+pub fn probe<T>(value: T) -> Probe<T> {
+    Rc::new(RefCell::new(value))
+}
+
+/// Completion record a benchmark program fills in.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// When the measured loop started.
+    pub started: Option<SimTime>,
+    /// When the measured loop finished.
+    pub finished: Option<SimTime>,
+    /// Iterations completed.
+    pub iterations: u64,
+    /// Operations that failed (should be 0 on a healthy network).
+    pub failures: u64,
+    /// Free-form payload check errors detected by the program.
+    pub integrity_errors: u64,
+    /// Deliberate loop overhead (e.g. decorrelation jitter) to subtract
+    /// from the elapsed time — the paper's "subtracting loop overhead and
+    /// other artifact".
+    pub deducted: SimDuration,
+}
+
+impl RunReport {
+    /// Total elapsed time of the measured loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loop did not complete — tests should assert
+    /// completion explicitly first for a better message.
+    pub fn elapsed(&self) -> SimDuration {
+        let s = self.started.expect("loop never started");
+        let f = self.finished.expect("loop never finished");
+        f.since(s)
+    }
+
+    /// Elapsed time per iteration, in milliseconds, with deliberate loop
+    /// overhead subtracted.
+    pub fn per_op_ms(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.elapsed().saturating_sub(self.deducted).as_millis_f64() / self.iterations as f64
+    }
+
+    /// True if the loop ran to completion without failures.
+    pub fn clean(&self) -> bool {
+        self.finished.is_some() && self.failures == 0 && self.integrity_errors == 0
+    }
+}
+
+/// Snapshot of one host's processor accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuSnapshot {
+    host: HostId,
+    busy: SimDuration,
+}
+
+impl CpuSnapshot {
+    /// Takes a snapshot of `host`'s charged processor time.
+    pub fn take(cluster: &Cluster, host: HostId) -> CpuSnapshot {
+        CpuSnapshot {
+            host,
+            busy: cluster.cpu_busy(host),
+        }
+    }
+
+    /// Processor time charged since this snapshot.
+    pub fn delta(&self, cluster: &Cluster) -> SimDuration {
+        cluster.cpu_busy(self.host).saturating_sub(self.busy)
+    }
+
+    /// Processor time per operation since this snapshot, in milliseconds.
+    pub fn per_op_ms(&self, cluster: &Cluster, ops: u64) -> f64 {
+        if ops == 0 {
+            return 0.0;
+        }
+        self.delta(cluster).as_millis_f64() / ops as f64
+    }
+}
+
+/// A measured kernel operation in the format of the paper's tables:
+/// elapsed local/remote plus client/server processor time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpRow {
+    /// Elapsed time per op executed locally (ms).
+    pub local_ms: f64,
+    /// Elapsed time per op executed remotely (ms).
+    pub remote_ms: f64,
+    /// Network penalty for the remote op's data (ms).
+    pub penalty_ms: f64,
+    /// Client host processor time per remote op (ms).
+    pub client_cpu_ms: f64,
+    /// Server host processor time per remote op (ms).
+    pub server_cpu_ms: f64,
+}
+
+impl OpRow {
+    /// Remote minus local elapsed time (the "Difference" column).
+    pub fn difference_ms(&self) -> f64 {
+        self.remote_ms - self.local_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_accounting() {
+        let mut r = RunReport::default();
+        r.started = Some(SimTime::from_millis(10));
+        r.finished = Some(SimTime::from_millis(110));
+        r.iterations = 100;
+        assert!((r.per_op_ms() - 1.0).abs() < 1e-9);
+        assert!(r.clean());
+        r.failures = 1;
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn zero_iterations_is_zero_per_op() {
+        let mut r = RunReport::default();
+        r.started = Some(SimTime::ZERO);
+        r.finished = Some(SimTime::from_millis(5));
+        assert_eq!(r.per_op_ms(), 0.0);
+    }
+
+    #[test]
+    fn difference_column() {
+        let row = OpRow {
+            local_ms: 1.0,
+            remote_ms: 3.2,
+            ..OpRow::default()
+        };
+        assert!((row.difference_ms() - 2.2).abs() < 1e-9);
+    }
+}

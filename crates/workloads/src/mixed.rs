@@ -1,0 +1,282 @@
+//! The §7 file-server capacity workload: a 90/10 mix of page requests
+//! and 64 KB program loads from many diskless workstations.
+
+use v_kernel::{Access, Api, Message, Outcome, Pid, Program};
+use v_sim::{SimDuration, SimTime, SplitMix64};
+
+use crate::measure::{Probe, RunReport};
+
+/// Request opcode: 512-byte page read.
+const OP_PAGE: u8 = 1;
+/// Request opcode: 64 KB program load.
+const OP_LOAD: u8 = 2;
+
+/// Server-side data buffer.
+const SRV_BUF: u32 = 0x10000;
+/// Client-side receive buffer.
+const CLI_BUF: u32 = 0x10000;
+
+/// A file-server stand-in charging realistic per-request processor time
+/// (the paper estimates ~3.5 ms of file-system processing per request on
+/// top of the kernel operations).
+pub struct CapacityServer {
+    /// File-system processing charged per request.
+    pub fs_cpu: SimDuration,
+    /// `MoveTo` transfer unit for program loads.
+    pub transfer_unit: u32,
+    /// Program image size.
+    pub image: u32,
+    /// Failure records.
+    pub report: Probe<RunReport>,
+    current: Option<(Pid, u32, u32)>,
+    pending: Option<(Pid, Message)>,
+}
+
+impl CapacityServer {
+    /// Creates a capacity server.
+    pub fn new(fs_cpu: SimDuration, report: Probe<RunReport>) -> CapacityServer {
+        CapacityServer {
+            fs_cpu,
+            transfer_unit: 16384,
+            image: 65536,
+            report,
+            current: None,
+            pending: None,
+        }
+    }
+
+    fn serve(&mut self, api: &mut Api<'_>) {
+        let (from, msg) = self.pending.take().expect("request pending");
+        match msg.byte(1) {
+            OP_PAGE => {
+                let buf = msg.get_u32(12);
+                let mut reply = Message::empty();
+                reply.set_u32(8, 512);
+                if api.reply_with_segment(reply, from, buf, SRV_BUF, 512).is_err() {
+                    self.report.borrow_mut().failures += 1;
+                }
+                api.receive();
+            }
+            OP_LOAD => {
+                let buf = msg.get_u32(12);
+                self.current = Some((from, buf, 0));
+                self.push_next(api);
+            }
+            _ => {
+                self.report.borrow_mut().failures += 1;
+                api.receive();
+            }
+        }
+    }
+
+    fn push_next(&mut self, api: &mut Api<'_>) {
+        let (client, buf, pushed) = self.current.expect("load in progress");
+        let n = self.transfer_unit.min(self.image - pushed);
+        api.move_to(client, buf + pushed, SRV_BUF + pushed, n);
+    }
+}
+
+impl Program for CapacityServer {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                api.mem_fill(SRV_BUF, self.image as usize, 0x42).expect("fits");
+                api.receive();
+            }
+            Outcome::Receive { from, msg } => {
+                // Charge the file-system processing, then serve.
+                self.pending = Some((from, msg));
+                api.compute(self.fs_cpu);
+            }
+            Outcome::Compute => self.serve(api),
+            Outcome::Move(Ok(n)) => {
+                let (client, buf, pushed) = self.current.expect("load in progress");
+                let pushed = pushed + n;
+                if pushed < self.image {
+                    self.current = Some((client, buf, pushed));
+                    self.push_next(api);
+                } else {
+                    self.current = None;
+                    let mut reply = Message::empty();
+                    reply.set_u32(8, pushed);
+                    let _ = api.reply(reply, client);
+                    api.receive();
+                }
+            }
+            Outcome::Move(Err(_)) => {
+                self.report.borrow_mut().failures += 1;
+                api.receive();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Per-client results of the capacity workload.
+#[derive(Debug, Clone, Default)]
+pub struct MixStats {
+    /// Completed page requests.
+    pub pages: u64,
+    /// Completed loads.
+    pub loads: u64,
+    /// Summed page response time (ms).
+    pub page_ms_total: f64,
+    /// Summed load response time (ms).
+    pub load_ms_total: f64,
+}
+
+impl MixStats {
+    /// Mean page response time.
+    pub fn page_ms(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.page_ms_total / self.pages as f64
+        }
+    }
+
+    /// Mean load response time.
+    pub fn load_ms(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_ms_total / self.loads as f64
+        }
+    }
+
+    /// Total requests.
+    pub fn requests(&self) -> u64 {
+        self.pages + self.loads
+    }
+}
+
+/// A diskless workstation issuing the 90/10 request mix with think time
+/// between requests.
+pub struct MixedClient {
+    /// The file server.
+    pub server: Pid,
+    /// Requests to issue.
+    pub n: u64,
+    /// Think time between requests.
+    pub think: SimDuration,
+    /// RNG for the 90/10 draw.
+    pub rng: SplitMix64,
+    /// Per-client stats.
+    pub stats: Probe<MixStats>,
+    issued_at: SimTime,
+    current_is_load: bool,
+    done: u64,
+}
+
+impl MixedClient {
+    /// Creates a mixed-workload client.
+    pub fn new(
+        server: Pid,
+        n: u64,
+        think: SimDuration,
+        seed: u64,
+        stats: Probe<MixStats>,
+    ) -> MixedClient {
+        MixedClient {
+            server,
+            n,
+            think,
+            rng: SplitMix64::new(seed),
+            stats,
+            issued_at: SimTime::ZERO,
+            current_is_load: false,
+            done: 0,
+        }
+    }
+
+    fn issue(&mut self, api: &mut Api<'_>) {
+        self.current_is_load = self.rng.chance(0.10);
+        let mut m = Message::empty();
+        m.set_u32(12, CLI_BUF);
+        if self.current_is_load {
+            m.set_byte(1, OP_LOAD);
+            m.set_segment(CLI_BUF, 65536, Access::Write);
+        } else {
+            m.set_byte(1, OP_PAGE);
+            m.set_segment(CLI_BUF, 512, Access::Write);
+        }
+        self.issued_at = api.now();
+        api.send(m, self.server);
+    }
+}
+
+impl Program for MixedClient {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => self.issue(api),
+            Outcome::Send(Ok(_)) => {
+                let ms = api.now().since(self.issued_at).as_millis_f64();
+                {
+                    let mut st = self.stats.borrow_mut();
+                    if self.current_is_load {
+                        st.loads += 1;
+                        st.load_ms_total += ms;
+                    } else {
+                        st.pages += 1;
+                        st.page_ms_total += ms;
+                    }
+                }
+                self.done += 1;
+                if self.done < self.n {
+                    if self.think.is_zero() {
+                        self.issue(api);
+                    } else {
+                        api.delay(self.think);
+                    }
+                } else {
+                    api.exit();
+                }
+            }
+            Outcome::Delay => self.issue(api),
+            _ => api.exit(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::probe;
+    use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
+
+    #[test]
+    fn mix_completes_and_splits_90_10() {
+        let cfg = ClusterConfig::three_mb().with_hosts(3, CpuSpeed::Mc68000At10MHz);
+        let mut cl = Cluster::new(cfg);
+        let rep = probe(RunReport::default());
+        let server = cl.spawn(
+            HostId(0),
+            "capacity-server",
+            Box::new(CapacityServer::new(
+                SimDuration::from_millis_f64(3.5),
+                rep.clone(),
+            )),
+        );
+        let st1 = probe(MixStats::default());
+        let st2 = probe(MixStats::default());
+        cl.spawn(
+            HostId(1),
+            "ws1",
+            Box::new(MixedClient::new(server, 200, SimDuration::from_millis(20), 1, st1.clone())),
+        );
+        cl.spawn(
+            HostId(2),
+            "ws2",
+            Box::new(MixedClient::new(server, 200, SimDuration::from_millis(20), 2, st2.clone())),
+        );
+        cl.run();
+        assert_eq!(rep.borrow().failures, 0);
+        let total = st1.borrow().requests() + st2.borrow().requests();
+        assert_eq!(total, 400);
+        let loads = st1.borrow().loads + st2.borrow().loads;
+        // 10% of 400 = 40; allow generous spread.
+        assert!((20..60).contains(&(loads as i64)), "loads = {loads}");
+        // Loads are far slower than page reads.
+        assert!(st1.borrow().load_ms() > 5.0 * st1.borrow().page_ms());
+    }
+}

@@ -1,0 +1,212 @@
+//! Sequential page access with server read-ahead (Table 6-2).
+//!
+//! The paper models a file server doing read-ahead by interposing the
+//! disk latency *between the reply to one request and the receipt of the
+//! next* — by the time the client asks for page k+1, the server has been
+//! fetching it for a while. The elapsed time per page then approaches the
+//! disk latency itself, which is the paper's argument that streaming
+//! protocols have at most 10–15 % to offer.
+
+use v_kernel::{Access, Api, Message, Outcome, Pid, Program};
+use v_sim::SimDuration;
+
+use crate::measure::{Probe, RunReport};
+use crate::page::{CLIENT_BUF, SERVER_BUF};
+
+/// Serves sequential page reads; after each reply it "reads ahead" for
+/// `disk_latency` before accepting the next request.
+pub struct SeqReadServer {
+    /// Page size in bytes.
+    pub page: u32,
+    /// Simulated disk latency per page.
+    pub disk_latency: SimDuration,
+    /// Pattern served.
+    pub pattern: u8,
+    /// Failure records.
+    pub report: Probe<RunReport>,
+    pending_rearm: bool,
+}
+
+impl SeqReadServer {
+    /// Creates a read-ahead server.
+    pub fn new(
+        page: u32,
+        disk_latency: SimDuration,
+        pattern: u8,
+        report: Probe<RunReport>,
+    ) -> SeqReadServer {
+        SeqReadServer {
+            page,
+            disk_latency,
+            pattern,
+            report,
+            pending_rearm: false,
+        }
+    }
+}
+
+impl Program for SeqReadServer {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                api.mem_fill(SERVER_BUF, self.page as usize, self.pattern)
+                    .expect("page fits");
+                api.receive();
+            }
+            Outcome::Receive { from, msg } => {
+                let count = msg.get_u32(8);
+                let client_buf = msg.get_u32(12);
+                let mut reply = Message::empty();
+                reply.set_u32(8, count);
+                if api
+                    .reply_with_segment(reply, from, client_buf, SERVER_BUF, count)
+                    .is_err()
+                {
+                    self.report.borrow_mut().failures += 1;
+                }
+                // Read-ahead: fetch the next page from disk before
+                // listening for the next request.
+                self.pending_rearm = true;
+                api.delay(self.disk_latency);
+            }
+            Outcome::Delay if self.pending_rearm => {
+                self.pending_rearm = false;
+                api.receive();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Reads `n` pages sequentially, optionally "thinking" (computing)
+/// between reads — the §6.2 slow-reader scenario.
+pub struct SeqReadClient {
+    /// The server.
+    pub server: Pid,
+    /// Page size in bytes.
+    pub page: u32,
+    /// Pages to read.
+    pub n: u64,
+    /// Compute time between reads (zero = read as fast as possible).
+    pub think: SimDuration,
+    /// Where results accumulate.
+    pub report: Probe<RunReport>,
+    done: u64,
+}
+
+impl SeqReadClient {
+    /// Creates a sequential reader.
+    pub fn new(
+        server: Pid,
+        page: u32,
+        n: u64,
+        think: SimDuration,
+        report: Probe<RunReport>,
+    ) -> SeqReadClient {
+        SeqReadClient {
+            server,
+            page,
+            n,
+            think,
+            report,
+            done: 0,
+        }
+    }
+
+    fn read_next(&self, api: &mut Api<'_>) {
+        let mut m = Message::empty();
+        m.set_u32(8, self.page);
+        m.set_u32(12, CLIENT_BUF);
+        m.set_segment(CLIENT_BUF, self.page, Access::Write);
+        api.send(m, self.server);
+    }
+}
+
+impl Program for SeqReadClient {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                self.report.borrow_mut().started = Some(api.now());
+                self.read_next(api);
+            }
+            Outcome::Send(Ok(_)) => {
+                self.done += 1;
+                self.report.borrow_mut().iterations += 1;
+                if self.done >= self.n {
+                    self.report.borrow_mut().finished = Some(api.now());
+                    api.exit();
+                } else if self.think.is_zero() {
+                    self.read_next(api);
+                } else {
+                    api.compute(self.think);
+                }
+            }
+            Outcome::Compute => self.read_next(api),
+            Outcome::Send(Err(_)) => {
+                let mut r = self.report.borrow_mut();
+                r.failures += 1;
+                r.finished = Some(api.now());
+                drop(r);
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::probe;
+    use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
+
+    fn run_seq(disk_ms: u64, think: SimDuration) -> f64 {
+        let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        let mut cl = Cluster::new(cfg);
+        let rep = probe(RunReport::default());
+        let server = cl.spawn(
+            HostId(1),
+            "seqserver",
+            Box::new(SeqReadServer::new(
+                512,
+                SimDuration::from_millis(disk_ms),
+                0x11,
+                rep.clone(),
+            )),
+        );
+        cl.spawn(
+            HostId(0),
+            "seqclient",
+            Box::new(SeqReadClient::new(server, 512, 100, think, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow();
+        assert!(r.clean(), "{:?}", *r);
+        r.per_op_ms()
+    }
+
+    #[test]
+    fn elapsed_tracks_disk_latency() {
+        // Paper Table 6-2: 10 → 12.02, 15 → 17.13, 20 → 22.22 ms/page.
+        for (disk, paper) in [(10u64, 12.02), (15, 17.13), (20, 22.22)] {
+            let ms = run_seq(disk, SimDuration::ZERO);
+            let err = (ms - paper).abs() / paper;
+            assert!(err < 0.12, "disk {disk} ms: got {ms:.2}, paper {paper}");
+        }
+    }
+
+    #[test]
+    fn read_ahead_overlaps_disk_with_request_turnaround() {
+        // Per-page time must be far below disk latency + full round trip.
+        let ms = run_seq(15, SimDuration::ZERO);
+        assert!(ms < 15.0 + 5.56, "no overlap: {ms:.2}");
+    }
+
+    #[test]
+    fn slow_reader_sees_page_ready() {
+        // A client thinking 20 ms per page on a 10 ms disk: total per page
+        // ≈ think + remote read time, since read-ahead hides the disk.
+        let ms = run_seq(10, SimDuration::from_millis(20));
+        assert!((24.0..28.0).contains(&ms), "slow reader: {ms:.2}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Process naming across the network: `SetPid` / `GetPid` with scopes
+//! and broadcast resolution (§3.1), plus what happens when the id does
+//! not exist anywhere.
+//!
+//! Run with: `cargo run --example name_service`
+
+use v_kernel::{
+    logical, Api, Cluster, ClusterConfig, CpuSpeed, HostId, Message, Outcome, Pid, Program, Scope,
+};
+use v_workloads::echo::EchoServer;
+
+/// Resolves a list of (label, logical id, scope) queries and prints what
+/// it finds, then exchanges one message with the file server it found.
+struct Resolver {
+    queries: Vec<(&'static str, u32, Scope)>,
+    at: usize,
+    found_server: Option<Pid>,
+}
+
+impl Program for Resolver {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => {
+                let (_, id, scope) = self.queries[self.at];
+                api.get_pid(id, scope);
+            }
+            Outcome::GetPid(result) => {
+                let (label, id, scope) = self.queries[self.at];
+                match result {
+                    Some(pid) => println!("GetPid({label}, {scope:?}) -> {pid}"),
+                    None => println!("GetPid({label}, {scope:?}) -> not found"),
+                }
+                if id == logical::FILE_SERVER {
+                    self.found_server = self.found_server.or(result);
+                }
+                self.at += 1;
+                if self.at < self.queries.len() {
+                    let (_, id, scope) = self.queries[self.at];
+                    api.get_pid(id, scope);
+                } else if let Some(server) = self.found_server {
+                    // Prove the resolved pid is usable: one exchange.
+                    api.send(Message::empty(), server);
+                } else {
+                    api.exit();
+                }
+            }
+            Outcome::Send(Ok(_)) => {
+                println!("exchanged a message with the resolved file server — pid is live");
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Registers itself as the network file server, then serves echoes.
+struct RegisteringServer;
+impl Program for RegisteringServer {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        if let Outcome::Started = outcome {
+            // Visible to the whole network.
+            api.set_pid(logical::FILE_SERVER, api.self_pid(), Scope::Both);
+        }
+        EchoServer.resume(api, outcome)
+    }
+}
+
+fn main() {
+    let cfg = ClusterConfig::three_mb().with_hosts(3, CpuSpeed::Mc68000At10MHz);
+    let mut cluster = Cluster::new(cfg);
+
+    // Host 1 runs the network file server; host 2 runs a *local-only*
+    // print spooler under the same logical id namespace.
+    cluster.spawn(HostId(1), "fileserver", Box::new(RegisteringServer));
+
+    struct LocalSpooler;
+    impl Program for LocalSpooler {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            if let Outcome::Started = outcome {
+                api.set_pid(logical::NAME_SERVER, api.self_pid(), Scope::Local);
+            }
+            EchoServer.resume(api, outcome)
+        }
+    }
+    cluster.spawn(HostId(2), "spooler", Box::new(LocalSpooler));
+    cluster.run(); // let registrations settle
+
+    // Host 0 resolves names. The file server needs a broadcast (it is
+    // remote); the spooler is invisible from here (scope Local on another
+    // host); an unknown id times out to None.
+    cluster.spawn(
+        HostId(0),
+        "resolver",
+        Box::new(Resolver {
+            queries: vec![
+                ("FILE_SERVER", logical::FILE_SERVER, Scope::Both),
+                ("FILE_SERVER", logical::FILE_SERVER, Scope::Local),
+                ("NAME_SERVER (registered Local on another host)", logical::NAME_SERVER, Scope::Both),
+                ("EXEC_SERVER (nowhere)", logical::EXEC_SERVER, Scope::Both),
+            ],
+            at: 0,
+            found_server: None,
+        }),
+    );
+    cluster.run();
+
+    let s = cluster.kernel_stats(HostId(0));
+    println!(
+        "resolver kernel: {} GetPid broadcasts; answers received from peer kernels",
+        s.getpid_broadcasts
+    );
+}

@@ -1,0 +1,9 @@
+//! V-System: re-exports of all reproduction crates.
+pub use v_baselines as baselines;
+pub use v_bench as bench;
+pub use v_fs as fs;
+pub use v_kernel as kernel;
+pub use v_net as net;
+pub use v_sim as sim;
+pub use v_wire as wire;
+pub use v_workloads as workloads;

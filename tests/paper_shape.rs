@@ -1,0 +1,218 @@
+//! Paper-shape assertions: the qualitative claims of the paper must hold
+//! in the reproduction (who wins, by roughly what factor, where the
+//! crossovers fall). The tight quantitative pins live in
+//! `crates/bench/tests/calibration.rs`.
+
+use v_kernel::{CpuSpeed, Cluster, ClusterConfig, HostId};
+use v_sim::SimDuration;
+use v_workloads::echo::{EchoServer, Pinger};
+use v_workloads::measure::probe;
+
+fn srr_ms(speed: CpuSpeed, remote: bool) -> f64 {
+    let cfg = ClusterConfig::three_mb().with_hosts(2, speed);
+    let mut cl = Cluster::new(cfg);
+    let server = cl.spawn(HostId(if remote { 1 } else { 0 }), "echo", Box::new(EchoServer));
+    let rep = probe(Default::default());
+    cl.spawn(
+        HostId(0),
+        "ping",
+        Box::new(Pinger::new(server, 300, rep.clone())),
+    );
+    cl.run();
+    let r = rep.borrow();
+    assert!(r.clean());
+    r.per_op_ms()
+}
+
+#[test]
+fn remote_exchange_is_about_3x_local_but_only_2ms_more() {
+    // §5.3: "the remote Send-Receive-Reply sequence takes more than 3
+    // times as long as for the local case ... an alternative
+    // interpretation is that the remote operation adds a delay of less
+    // than 2 milliseconds."
+    let local = srr_ms(CpuSpeed::Mc68000At8MHz, false);
+    let remote = srr_ms(CpuSpeed::Mc68000At8MHz, true);
+    assert!(remote / local > 3.0, "ratio {:.2}", remote / local);
+    assert!(remote - local < 2.5, "delta {:.2}", remote - local);
+}
+
+#[test]
+fn faster_processor_helps_remote_ops_too() {
+    // §5.2: local ops scale with the processor (~25 %); remote ops still
+    // improve ~15 % — the processor, not the wire, dominates.
+    let l8 = srr_ms(CpuSpeed::Mc68000At8MHz, false);
+    let l10 = srr_ms(CpuSpeed::Mc68000At10MHz, false);
+    let r8 = srr_ms(CpuSpeed::Mc68000At8MHz, true);
+    let r10 = srr_ms(CpuSpeed::Mc68000At10MHz, true);
+    let local_gain = 1.0 - l10 / l8;
+    let remote_gain = 1.0 - r10 / r8;
+    assert!((0.18..0.30).contains(&local_gain), "local gain {local_gain:.2}");
+    assert!((0.10..0.25).contains(&remote_gain), "remote gain {remote_gain:.2}");
+}
+
+#[test]
+fn offloading_threshold_matches_section_5_3() {
+    // §5.3: moving a server to another machine pays off once request
+    // processing exceeds local-SRR minus the client's share of the remote
+    // exchange (~0.67 ms at 10 MHz). Check both sides of the threshold.
+    let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+    let cl = Cluster::new(cfg);
+    drop(cl);
+    // Client CPU for a remote exchange:
+    let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+    let mut cl = Cluster::new(cfg);
+    let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+    cl.run();
+    let before = cl.cpu_busy(HostId(0));
+    let rep = probe(Default::default());
+    cl.spawn(
+        HostId(0),
+        "ping",
+        Box::new(Pinger::new(server, 300, rep.clone())),
+    );
+    cl.run();
+    // Serving locally costs the workstation `local_srr + P` of processor
+    // time for request processing P; serving remotely costs only the
+    // client share of the exchange. Offloading pays once
+    // P > client_cpu_remote - local_srr — the paper computes 0.67 ms.
+    let client_cpu = (cl.cpu_busy(HostId(0)).saturating_sub(before)).as_millis_f64() / 300.0;
+    let local_srr = srr_ms(CpuSpeed::Mc68000At10MHz, false);
+    let threshold = client_cpu - local_srr;
+    assert!(
+        (0.4..1.0).contains(&threshold),
+        "offload threshold {threshold:.2} ms (paper: ~0.67)"
+    );
+}
+
+#[test]
+fn page_read_sits_within_2ms_of_the_network_penalty() {
+    // §6.1: "the time to read or write a page ... is approximately 1.5
+    // milliseconds more than the network penalty".
+    use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
+    let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+    let mut cl = Cluster::new(cfg);
+    let rep = probe(Default::default());
+    let server = cl.spawn(
+        HostId(1),
+        "pageserver",
+        Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, rep.clone())),
+    );
+    cl.spawn(
+        HostId(0),
+        "client",
+        Box::new(PageClient::new(server, PageOp::Read, 512, 200, 0x7E, rep.clone())),
+    );
+    cl.run();
+    let r = rep.borrow();
+    assert!(r.clean());
+    let model = v_kernel::CostModel::mc68000_10mhz();
+    let net = v_net::NetParams::for_kind(v_net::NetworkKind::Experimental3Mb);
+    let penalty = model.network_penalty(&net, 64).as_millis_f64()
+        + model.network_penalty(&net, 576).as_millis_f64();
+    let overhead = r.per_op_ms() - penalty;
+    assert!(
+        (0.5..2.2).contains(&overhead),
+        "V IPC overhead over penalty: {overhead:.2} ms"
+    );
+}
+
+#[test]
+fn sequential_access_within_15_percent_of_disk_floor() {
+    // §6.2's headline: request-response file access sits within 10-15 %
+    // of the disk-latency floor, so streaming has little to offer.
+    for disk in [15u64, 20] {
+        use v_workloads::seq::{SeqReadClient, SeqReadServer};
+        let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        let mut cl = Cluster::new(cfg);
+        let rep = probe(Default::default());
+        let server = cl.spawn(
+            HostId(1),
+            "seq",
+            Box::new(SeqReadServer::new(
+                512,
+                SimDuration::from_millis(disk),
+                0x22,
+                rep.clone(),
+            )),
+        );
+        cl.spawn(
+            HostId(0),
+            "reader",
+            Box::new(SeqReadClient::new(
+                server,
+                512,
+                200,
+                SimDuration::ZERO,
+                rep.clone(),
+            )),
+        );
+        cl.run();
+        let r = rep.borrow();
+        assert!(r.clean());
+        let overhead = r.per_op_ms() / disk as f64 - 1.0;
+        assert!(
+            overhead < 0.15,
+            "disk {disk} ms: overhead {:.1}% exceeds the paper's bound",
+            overhead * 100.0
+        );
+    }
+}
+
+#[test]
+fn program_loading_shape_holds() {
+    // Table 6-3's shape: remote cost falls as the transfer unit grows,
+    // flattens past 16 KB, and the large-unit rate is within the same
+    // ballpark as writing packets back-to-back (~200 KB/s).
+    use v_workloads::load::{LoadClient, LoadServer};
+    let mut results = Vec::new();
+    for unit in [1024u32, 4096, 16384, 65536] {
+        let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
+        let mut cl = Cluster::new(cfg);
+        let rep = probe(Default::default());
+        let server = cl.spawn(
+            HostId(1),
+            "loadserver",
+            Box::new(LoadServer::new(65536, unit, 0x42, rep.clone())),
+        );
+        cl.spawn(
+            HostId(0),
+            "loadclient",
+            Box::new(LoadClient::new(server, 65536, 3, 0x42, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow();
+        assert!(r.clean());
+        results.push(r.per_op_ms());
+    }
+    assert!(results[0] > results[1] && results[1] > results[2] && results[2] >= results[3]);
+    // Flattening: 16 KB → 64 KB gains < 5 %.
+    assert!((results[2] - results[3]) / results[2] < 0.05);
+    // Steep part: 1 KB → 64 KB gains > 25 %.
+    assert!((results[0] - results[3]) / results[0] > 0.25);
+    let rate_kbs = 64.0 / (results[3] / 1000.0);
+    assert!((150.0..230.0).contains(&rate_kbs), "rate {rate_kbs:.0} KB/s");
+}
+
+#[test]
+fn ip_encapsulation_costs_about_20_percent() {
+    use v_kernel::Encapsulation;
+    let raw = srr_ms(CpuSpeed::Mc68000At8MHz, true);
+    let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
+    cfg.protocol.encapsulation = Encapsulation::Ip;
+    let mut cl = Cluster::new(cfg);
+    let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+    let rep = probe(Default::default());
+    cl.spawn(
+        HostId(0),
+        "ping",
+        Box::new(Pinger::new(server, 300, rep.clone())),
+    );
+    cl.run();
+    let ip = rep.borrow().per_op_ms();
+    let overhead = ip / raw - 1.0;
+    assert!(
+        (0.12..0.28).contains(&overhead),
+        "IP overhead {:.1}%",
+        overhead * 100.0
+    );
+}

@@ -1,0 +1,99 @@
+//! Property-based integration tests: protocol invariants under arbitrary
+//! workload shapes and adversarial network conditions.
+
+use proptest::prelude::*;
+
+use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
+use v_net::FaultPlan;
+use v_sim::SimDuration;
+use v_workloads::echo::{EchoServer, Pinger};
+use v_workloads::measure::probe;
+use v_workloads::mover::{Grantor, MoveDir, Mover};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exchanges complete exactly once for any loss/dup/corrupt mix the
+    /// retransmission budget can beat.
+    #[test]
+    fn exchanges_survive_any_moderate_fault_mix(
+        loss in 0.0f64..0.10,
+        dup in 0.0f64..0.08,
+        corrupt in 0.0f64..0.08,
+        seed in any::<u64>(),
+        n in 20u64..120,
+    ) {
+        let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
+        cfg.faults = FaultPlan { loss, duplicate: dup, corrupt };
+        cfg.seed = seed;
+        cfg.protocol.retransmit_timeout = SimDuration::from_millis(10);
+        let mut cl = Cluster::new(cfg);
+        let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+        let rep = probe(Default::default());
+        cl.spawn(HostId(0), "ping", Box::new(Pinger::new(server, n, rep.clone())));
+        cl.run();
+        let r = rep.borrow();
+        prop_assert_eq!(r.iterations, n);
+        prop_assert_eq!(r.failures, 0);
+        prop_assert_eq!(r.integrity_errors, 0);
+    }
+
+    /// Bulk transfers deliver byte-exact data for any size (including
+    /// non-chunk-aligned) in both directions, under loss.
+    #[test]
+    fn transfers_deliver_exact_bytes(
+        size in 1u32..6000,
+        to in any::<bool>(),
+        loss in 0.0f64..0.06,
+        seed in any::<u64>(),
+    ) {
+        let dir = if to { MoveDir::To } else { MoveDir::From };
+        let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+        cfg.faults = FaultPlan { loss, ..FaultPlan::NONE };
+        cfg.seed = seed;
+        cfg.protocol.transfer_timeout = SimDuration::from_millis(10);
+        cfg.protocol.retransmit_timeout = SimDuration::from_millis(10);
+        let mut cl = Cluster::new(cfg);
+        let rep = probe(Default::default());
+        let mover = cl.spawn(
+            HostId(0),
+            "mover",
+            Box::new(Mover::new(3, size, dir, 0xA7, rep.clone())),
+        );
+        cl.spawn(
+            HostId(1),
+            "grantor",
+            Box::new(Grantor { mover, size, pattern: 0xA7, dir, report: rep.clone() }),
+        );
+        cl.run();
+        let r = rep.borrow();
+        prop_assert_eq!(r.iterations, 3);
+        prop_assert_eq!(r.failures, 0);
+        prop_assert_eq!(r.integrity_errors, 0);
+    }
+
+    /// Simulation determinism: identical configuration and seed produce
+    /// identical timing and identical protocol statistics.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), n in 10u64..60) {
+        let run = || {
+            let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
+            cfg.faults = FaultPlan { loss: 0.05, duplicate: 0.02, corrupt: 0.02 };
+            cfg.seed = seed;
+            cfg.protocol.retransmit_timeout = SimDuration::from_millis(10);
+            let mut cl = Cluster::new(cfg);
+            let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+            let rep = probe(Default::default());
+            cl.spawn(HostId(0), "ping", Box::new(Pinger::new(server, n, rep.clone())));
+            cl.run();
+            let r = rep.borrow();
+            (
+                r.elapsed().as_nanos(),
+                cl.kernel_stats(HostId(0)).retransmissions,
+                cl.medium_stats().frames_sent,
+                cl.now().as_nanos(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
