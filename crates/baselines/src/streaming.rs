@@ -60,9 +60,9 @@ pub struct StreamServer {
     client: Option<MacAddr>,
     total: u16,
     window: u16,
-    next_ready: u16,  // pages the disk has produced
-    next_sent: u16,   // pages pushed to the client
-    acked: u16,       // cumulative ack from the client
+    next_ready: u16, // pages the disk has produced
+    next_sent: u16,  // pages pushed to the client
+    acked: u16,      // cumulative ack from the client
     disk_busy: bool,
 }
 
@@ -216,9 +216,7 @@ impl StreamClient {
         self.consuming = true;
         // The application "reads" the page: one buffer-to-user copy now,
         // then its think time.
-        let copy = SimDuration::from_nanos(
-            self.copy_per_byte.as_nanos() * self.page_size as u64,
-        );
+        let copy = SimDuration::from_nanos(self.copy_per_byte.as_nanos() * self.page_size as u64);
         ctx.charge(copy);
         if self.think.is_zero() {
             self.finish_page(ctx);
@@ -291,8 +289,8 @@ pub fn measure_streaming(
     }));
     let server_mac = cluster.mac(HostId(1));
     // The extra copy uses the client CPU's memory-copy rate.
-    let copy_per_byte = v_kernel::CostModel::for_speed(v_kernel::CpuSpeed::Mc68000At10MHz)
-        .copy_mem_per_byte;
+    let copy_per_byte =
+        v_kernel::CostModel::for_speed(v_kernel::CpuSpeed::Mc68000At10MHz).copy_mem_per_byte;
     cluster.register_raw_handler(
         HostId(1),
         EtherType::STREAMING,
@@ -347,8 +345,12 @@ mod tests {
         // 15 ms disk latency (Table 6-2); streaming must not beat it by
         // more than ~15 %.
         let mut cl = cluster();
-        let (ms, _) =
-            measure_streaming(&mut cl, 200, SimDuration::from_millis(15), SimDuration::ZERO);
+        let (ms, _) = measure_streaming(
+            &mut cl,
+            200,
+            SimDuration::from_millis(15),
+            SimDuration::ZERO,
+        );
         let v_ms = 17.13;
         let gain = (v_ms - ms) / v_ms;
         assert!(gain < 0.15, "streaming gain {gain:.2} exceeds paper bound");

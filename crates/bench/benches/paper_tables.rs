@@ -44,7 +44,11 @@ fn bench_table_5(c: &mut Criterion) {
             let mut cl = pair(CpuSpeed::Mc68000At8MHz);
             let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
             let rep = probe(Default::default());
-            cl.spawn(HostId(0), "ping", Box::new(Pinger::new(server, 1000, rep.clone())));
+            cl.spawn(
+                HostId(0),
+                "ping",
+                Box::new(Pinger::new(server, 1000, rep.clone())),
+            );
             cl.run();
             assert!(rep.borrow().clean());
         })
@@ -91,7 +95,14 @@ fn bench_table_6_1(c: &mut Criterion) {
             cl.spawn(
                 HostId(0),
                 "client",
-                Box::new(PageClient::new(server, PageOp::Read, 512, 500, 0x7E, rep.clone())),
+                Box::new(PageClient::new(
+                    server,
+                    PageOp::Read,
+                    512,
+                    500,
+                    0x7E,
+                    rep.clone(),
+                )),
             );
             cl.run();
             assert!(rep.borrow().clean());
@@ -120,7 +131,13 @@ fn bench_table_6_2(c: &mut Criterion) {
             cl.spawn(
                 HostId(0),
                 "reader",
-                Box::new(SeqReadClient::new(server, 512, 200, SimDuration::ZERO, rep.clone())),
+                Box::new(SeqReadClient::new(
+                    server,
+                    512,
+                    200,
+                    SimDuration::ZERO,
+                    rep.clone(),
+                )),
             );
             cl.run();
             assert!(rep.borrow().clean());
@@ -213,7 +230,11 @@ fn bench_section_8(c: &mut Criterion) {
                 Cluster::new(ClusterConfig::ten_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz));
             let server = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
             let rep = probe(Default::default());
-            cl.spawn(HostId(0), "ping", Box::new(Pinger::new(server, 1000, rep.clone())));
+            cl.spawn(
+                HostId(0),
+                "ping",
+                Box::new(Pinger::new(server, 1000, rep.clone())),
+            );
             cl.run();
             assert!(rep.borrow().clean());
         })

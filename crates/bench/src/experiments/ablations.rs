@@ -98,9 +98,8 @@ pub fn streaming_comparison() -> Comparison {
     let mut c = Comparison::new("Sec 6.2", "streaming vs synchronous request-response");
     for disk in [10u64, 15, 20] {
         let v_ms = measure_seq(disk, SimDuration::ZERO);
-        let mut cl = Cluster::new(
-            ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz),
-        );
+        let mut cl =
+            Cluster::new(ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz));
         let (s_ms, st) = v_baselines::streaming::measure_streaming(
             &mut cl,
             N_PAGES as u16,
@@ -108,7 +107,11 @@ pub fn streaming_comparison() -> Comparison {
             SimDuration::ZERO,
         );
         assert_eq!(st.borrow().integrity_errors, 0);
-        c.push_ours(format!("V request-response, disk {disk} ms"), v_ms, "ms/page");
+        c.push_ours(
+            format!("V request-response, disk {disk} ms"),
+            v_ms,
+            "ms/page",
+        );
         c.push_ours(format!("streaming, disk {disk} ms"), s_ms, "ms/page");
         c.push(
             format!("streaming gain, disk {disk} ms"),

@@ -88,7 +88,12 @@ pub fn file_server_capacity() -> Comparison {
     );
 
     let mix_cpu = 0.9 * page_cpu + 0.1 * load_cpu;
-    c.push("90/10 mix average CPU", paper::FS_MIX_AVG_CPU_MS, mix_cpu, "ms");
+    c.push(
+        "90/10 mix average CPU",
+        paper::FS_MIX_AVG_CPU_MS,
+        mix_cpu,
+        "ms",
+    );
     c.push(
         "requests/second (estimate)",
         paper::FS_REQUESTS_PER_SEC,

@@ -18,7 +18,7 @@ mod ten_mb;
 pub use ablations::{ip_encapsulation, netserver_relay, streaming_comparison, wfs_comparison};
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;
-pub use table_4_1::network_penalty;
+pub use table_4_1::{network_penalty, network_penalty_with_rounds};
 pub use table_5::kernel_performance;
 pub use table_6_1::page_access;
 pub use table_6_2::sequential_access;
@@ -61,7 +61,11 @@ pub(crate) fn run_client_server(
     let client_cpu = CpuSnapshot::take(&cluster, client_host);
     let server_cpu = CpuSnapshot::take(&cluster, server_host);
     let report = probe(RunReport::default());
-    cluster.spawn(client_host, "bench-client", client(server_pid, report.clone()));
+    cluster.spawn(
+        client_host,
+        "bench-client",
+        client(server_pid, report.clone()),
+    );
     cluster.run();
     let r = report.borrow().clone();
     assert!(

@@ -31,14 +31,20 @@ pub fn multi_process_traffic() -> Comparison {
     // Two pairs, clean interfaces: minimal degradation.
     let cfg = ClusterConfig::three_mb().with_hosts(4, CpuSpeed::Mc68000At8MHz);
     let mut cl = Cluster::new(cfg);
-    let clean = v_workloads::multipair::run_pairs(&mut cl, 2, N, v_sim::SimDuration::from_millis(1));
-    c.push_ours("two pairs exchange time (fixed interface)", clean.mean_per_op_ms, "ms");
+    let clean =
+        v_workloads::multipair::run_pairs(&mut cl, 2, N, v_sim::SimDuration::from_millis(1));
+    c.push_ours(
+        "two pairs exchange time (fixed interface)",
+        clean.mean_per_op_ms,
+        "ms",
+    );
 
     // Two pairs with the collision-detection hardware bug.
     let mut cfg = ClusterConfig::three_mb().with_hosts(4, CpuSpeed::Mc68000At8MHz);
     cfg.collision_bug = Some(CollisionBug::PAPER_3MB);
     let mut cl = Cluster::new(cfg);
-    let buggy = v_workloads::multipair::run_pairs(&mut cl, 2, N, v_sim::SimDuration::from_millis(1));
+    let buggy =
+        v_workloads::multipair::run_pairs(&mut cl, 2, N, v_sim::SimDuration::from_millis(1));
     c.push(
         "two pairs exchange time (buggy interface)",
         paper::MULTIPAIR_BUGGY_MS,
@@ -56,7 +62,11 @@ pub fn multi_process_traffic() -> Comparison {
         corruption_rate,
         "per packet",
     );
-    c.push_ours("retransmissions under the bug", buggy.retransmissions as f64, "count");
+    c.push_ours(
+        "retransmissions under the bug",
+        buggy.retransmissions as f64,
+        "count",
+    );
 
     // Server-processor exchange ceiling (paper quotes the 10 MHz figure).
     let srr10 = measure_srr(CpuSpeed::Mc68000At10MHz, true);

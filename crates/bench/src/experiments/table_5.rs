@@ -103,8 +103,18 @@ pub fn kernel_performance(speed: CpuSpeed) -> Comparison {
             "Send-Receive-Reply" => {
                 let local = measure_srr(speed, false);
                 let remote = measure_srr(speed, true);
-                c.push("Send-Receive-Reply local", row.local, local.elapsed_ms, "ms");
-                c.push("Send-Receive-Reply remote", row.remote, remote.elapsed_ms, "ms");
+                c.push(
+                    "Send-Receive-Reply local",
+                    row.local,
+                    local.elapsed_ms,
+                    "ms",
+                );
+                c.push(
+                    "Send-Receive-Reply remote",
+                    row.remote,
+                    remote.elapsed_ms,
+                    "ms",
+                );
                 // Two 64-byte datagrams per exchange.
                 let pen = 2.0 * model.network_penalty(&net, 64).as_millis_f64();
                 c.push("Send-Receive-Reply penalty", row.penalty, pen, "ms");
@@ -134,8 +144,18 @@ pub fn kernel_performance(speed: CpuSpeed) -> Comparison {
                 // 1024 bytes travel as two 576-byte data packets.
                 let pen = 2.0 * model.network_penalty(&net, 576).as_millis_f64();
                 c.push(format!("{op} penalty"), row.penalty, pen, "ms");
-                c.push(format!("{op} client CPU"), row.client, remote.client_cpu_ms, "ms");
-                c.push(format!("{op} server CPU"), row.server, remote.server_cpu_ms, "ms");
+                c.push(
+                    format!("{op} client CPU"),
+                    row.client,
+                    remote.client_cpu_ms,
+                    "ms",
+                );
+                c.push(
+                    format!("{op} server CPU"),
+                    row.server,
+                    remote.server_cpu_ms,
+                    "ms",
+                );
             }
             other => unreachable!("unknown op {other}"),
         }

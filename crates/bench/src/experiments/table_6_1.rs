@@ -1,7 +1,7 @@
 //! Table 6-1: random page-level access, plus the §6.1 segment-vs-Thoth
 //! ablation.
 
-use v_kernel::{ClusterConfig, CostModel, Cluster, CpuSpeed, HostId};
+use v_kernel::{Cluster, ClusterConfig, CostModel, CpuSpeed, HostId};
 use v_net::NetParams;
 use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
 
@@ -11,12 +11,7 @@ use crate::report::Comparison;
 use super::{pair_3mb, run_client_server, Measured, N_PAGES};
 
 /// Measures a page read/write loop.
-pub(crate) fn measure_page(
-    speed: CpuSpeed,
-    op: PageOp,
-    mode: PageMode,
-    remote: bool,
-) -> Measured {
+pub(crate) fn measure_page(speed: CpuSpeed, op: PageOp, mode: PageMode, remote: bool) -> Measured {
     let cl = if mode == PageMode::Thoth {
         // The unmodified kernel: no appended segments on Send.
         let mut cfg = ClusterConfig::three_mb().with_hosts(2, speed);
@@ -58,10 +53,25 @@ pub fn page_access() -> Comparison {
         let local = measure_page(speed, op, PageMode::Segment, false);
         let remote = measure_page(speed, op, PageMode::Segment, true);
         c.push(format!("{name} local"), row.local, local.elapsed_ms, "ms");
-        c.push(format!("{name} remote"), row.remote, remote.elapsed_ms, "ms");
+        c.push(
+            format!("{name} remote"),
+            row.remote,
+            remote.elapsed_ms,
+            "ms",
+        );
         c.push(format!("{name} penalty"), row.penalty, pen, "ms");
-        c.push(format!("{name} client CPU"), row.client, remote.client_cpu_ms, "ms");
-        c.push(format!("{name} server CPU"), row.server, remote.server_cpu_ms, "ms");
+        c.push(
+            format!("{name} client CPU"),
+            row.client,
+            remote.client_cpu_ms,
+            "ms",
+        );
+        c.push(
+            format!("{name} server CPU"),
+            row.server,
+            remote.server_cpu_ms,
+            "ms",
+        );
     }
 
     // §6.1: the basic Thoth way (Send-Receive-MoveFrom-Reply for writes).

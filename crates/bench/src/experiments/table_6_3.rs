@@ -6,7 +6,7 @@ use v_workloads::load::{LoadClient, LoadServer};
 use crate::paper;
 use crate::report::Comparison;
 
-use super::{Measured, run_client_server};
+use super::{run_client_server, Measured};
 
 /// Number of 64 KB reads per measurement.
 const N_LOADS: u64 = 10;
@@ -40,8 +40,18 @@ pub fn program_loading() -> Comparison {
         let kb = unit / 1024;
         let local = measure_load(cfg(), unit, false);
         let remote = measure_load(cfg(), unit, true);
-        c.push(format!("{kb} KB units, local"), p_local, local.elapsed_ms, "ms");
-        c.push(format!("{kb} KB units, remote"), p_remote, remote.elapsed_ms, "ms");
+        c.push(
+            format!("{kb} KB units, local"),
+            p_local,
+            local.elapsed_ms,
+            "ms",
+        );
+        c.push(
+            format!("{kb} KB units, remote"),
+            p_remote,
+            remote.elapsed_ms,
+            "ms",
+        );
         c.push(
             format!("{kb} KB units, client CPU"),
             p_client,
@@ -57,7 +67,12 @@ pub fn program_loading() -> Comparison {
     }
     // Paper: large-unit remote loading runs at ~192 KB/s.
     let remote64 = c.get("64 KB units, remote");
-    c.push("data rate, 64 KB units", 192.0, 64.0 / (remote64 / 1000.0), "KB/s");
+    c.push(
+        "data rate, 64 KB units",
+        192.0,
+        64.0 / (remote64 / 1000.0),
+        "KB/s",
+    );
     c.note("network penalty is not defined for multi-packet transfers (paper footnote)");
     c.note("client = requesting workstation; server = the host running the MoveTo loop");
     c

@@ -24,7 +24,12 @@ pub fn ten_mb_ethernet() -> Comparison {
         |cl| cl.spawn(HostId(1), "echo", Box::new(EchoServer)),
         |server, rep| Box::new(Pinger::new(server, N_EXCHANGES, rep)),
     );
-    c.push("remote exchange", paper::TEN_MB_SRR_MS, srr.elapsed_ms, "ms");
+    c.push(
+        "remote exchange",
+        paper::TEN_MB_SRR_MS,
+        srr.elapsed_ms,
+        "ms",
+    );
 
     // Remote page read.
     let (page, _) = run_client_server(
@@ -35,14 +40,31 @@ pub fn ten_mb_ethernet() -> Comparison {
             cl.spawn(
                 HostId(1),
                 "pageserver",
-                Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, Default::default())),
+                Box::new(PageServer::new(
+                    PageMode::Segment,
+                    512,
+                    0x7E,
+                    Default::default(),
+                )),
             )
         },
         |server, rep| {
-            Box::new(PageClient::new(server, PageOp::Read, 512, N_PAGES, 0x7E, rep))
+            Box::new(PageClient::new(
+                server,
+                PageOp::Read,
+                512,
+                N_PAGES,
+                0x7E,
+                rep,
+            ))
         },
     );
-    c.push("page read", paper::TEN_MB_PAGE_READ_MS, page.elapsed_ms, "ms");
+    c.push(
+        "page read",
+        paper::TEN_MB_PAGE_READ_MS,
+        page.elapsed_ms,
+        "ms",
+    );
 
     // 64 KB load with 16 KB transfer units.
     let cfg = ClusterConfig::ten_mb().with_hosts(2, speed);

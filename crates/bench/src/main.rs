@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming]...
+//! v-bench --smoke
 //! ```
+//!
+//! `--smoke` runs Table 4-1 with a tiny round count: a cheap end-to-end
+//! exercise of the experiment pipeline for CI, not a measurement. It
+//! cannot be combined with experiment ids.
 
 use v_bench::experiments as exp;
 use v_kernel::CpuSpeed;
@@ -32,12 +37,33 @@ fn run(id: &str) -> bool {
 }
 
 const ALL: [&str; 13] = [
-    "4-1", "5-1", "5-2", "5-4", "6-1", "6-2", "6-3", "7", "8", "ip", "relay", "wfs",
+    "4-1",
+    "5-1",
+    "5-2",
+    "5-4",
+    "6-1",
+    "6-2",
+    "6-3",
+    "7",
+    "8",
+    "ip",
+    "relay",
+    "wfs",
     "streaming",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        if args.len() > 1 {
+            eprintln!("--smoke runs only the fixed smoke check and cannot be combined with experiment ids");
+            std::process::exit(2);
+        }
+        let c = exp::network_penalty_with_rounds(5);
+        println!("{c}");
+        println!("smoke OK: Table 4-1 pipeline ran end to end (5 rounds, not a measurement)");
+        return;
+    }
     let mut ok = true;
     if args.is_empty() || args.iter().any(|a| a == "all") {
         for id in ALL {

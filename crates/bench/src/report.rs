@@ -114,8 +114,8 @@ impl fmt::Display for Comparison {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
         writeln!(
             f,
-            "{:<44} {:>10} {:>10} {:>8}  {}",
-            "metric", "paper", "ours", "delta", "unit"
+            "{:<44} {:>10} {:>10} {:>8}  unit",
+            "metric", "paper", "ours", "delta"
         )?;
         for r in &self.rows {
             let paper = match r.paper {

@@ -10,8 +10,8 @@ use v_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::aliens::AlienTable;
 use crate::config::ClusterConfig;
-use crate::cpu::Cpu;
 use crate::costs::CostModel;
+use crate::cpu::Cpu;
 use crate::ctx::Ctx;
 use crate::error::KernelError;
 use crate::event::{Event, HostId, TimerKind};
@@ -28,12 +28,31 @@ use crate::stats::KernelStats;
 /// A blocking kernel call collected from a program resume.
 #[derive(Debug)]
 pub(crate) enum Pending {
-    Send { msg: Message, to: Pid },
+    Send {
+        msg: Message,
+        to: Pid,
+    },
     Receive,
-    ReceiveSeg { buf: u32, size: u32 },
-    MoveTo { dst: Pid, dest: u32, src: u32, count: u32 },
-    MoveFrom { src_pid: Pid, dest: u32, src: u32, count: u32 },
-    GetPid { logical_id: u32, scope: Scope },
+    ReceiveSeg {
+        buf: u32,
+        size: u32,
+    },
+    MoveTo {
+        dst: Pid,
+        dest: u32,
+        src: u32,
+        count: u32,
+    },
+    MoveFrom {
+        src_pid: Pid,
+        dest: u32,
+        src: u32,
+        count: u32,
+    },
+    GetPid {
+        logical_id: u32,
+        scope: Scope,
+    },
     Delay(SimDuration),
     Compute(SimDuration),
 }
@@ -204,7 +223,12 @@ impl Cluster {
 
     /// Spawns a process on `host` with the default address-space size.
     pub fn spawn(&mut self, host: HostId, name: &str, program: Box<dyn Program>) -> Pid {
-        self.spawn_with_space(host, name, program, crate::addrspace::AddressSpace::DEFAULT_SIZE)
+        self.spawn_with_space(
+            host,
+            name,
+            program,
+            crate::addrspace::AddressSpace::DEFAULT_SIZE,
+        )
     }
 
     /// Spawns a process with an explicit address-space size.

@@ -83,7 +83,11 @@ impl Default for ProtocolConfig {
     fn default() -> Self {
         ProtocolConfig {
             retransmit_timeout: SimDuration::from_millis(200),
-            max_retries: 5,
+            // Budget sized so an exchange survives the harshest fault mix
+            // the test storms generate (10% loss + 8% corruption each
+            // way ⇒ ~1/3 per-attempt failure): 13 attempts pushes the
+            // per-exchange failure odds below 1e-6.
+            max_retries: 12,
             max_data_per_packet: 512,
             max_appended_segment: 512,
             alien_pool: 16,

@@ -278,11 +278,8 @@ mod tests {
     fn local_srr_components_sum_to_paper_value() {
         // send + switch + reply + switch + receive = 1.00 ms at 8 MHz.
         let m = CostModel::mc68000_8mhz();
-        let total = m.send_local
-            + m.context_switch
-            + m.reply_local
-            + m.context_switch
-            + m.receive_local;
+        let total =
+            m.send_local + m.context_switch + m.reply_local + m.context_switch + m.receive_local;
         assert_eq!(total, SimDuration::from_micros(1000));
         let m10 = CostModel::mc68000_10mhz();
         let total10 = m10.send_local
@@ -306,9 +303,6 @@ mod tests {
     #[test]
     fn getime_cost_is_table_value() {
         assert_eq!(CostModel::mc68000_8mhz().syscall_min.as_millis_f64(), 0.07);
-        assert_eq!(
-            CostModel::mc68000_10mhz().syscall_min.as_millis_f64(),
-            0.06
-        );
+        assert_eq!(CostModel::mc68000_10mhz().syscall_min.as_millis_f64(), 0.06);
     }
 }

@@ -145,7 +145,10 @@ mod tests {
         cpu.charge(SimTime::ZERO, SimDuration::from_millis(4));
         let count = cpu.busywork_count(SimTime::from_millis(10), SimDuration::from_micros(10));
         assert_eq!(count, 600);
-        assert_eq!(cpu.busywork_count(SimTime::from_millis(10), SimDuration::ZERO), 0);
+        assert_eq!(
+            cpu.busywork_count(SimTime::from_millis(10), SimDuration::ZERO),
+            0
+        );
     }
 
     #[test]

@@ -207,7 +207,11 @@ impl<'a> Ctx<'a> {
             let send_cost = self.host.costs.send_local;
             let end = self.charge(t, send_cost);
             if self.host.proc(to).is_none() {
-                self.resume_at(end, pid, Outcome::Send(Err(KernelError::NonexistentProcess)));
+                self.resume_at(
+                    end,
+                    pid,
+                    Outcome::Send(Err(KernelError::NonexistentProcess)),
+                );
                 return;
             }
             {
@@ -277,7 +281,10 @@ impl<'a> Ctx<'a> {
             let block = self.host.costs.block_admin;
             self.charge(emitted.cpu_done, block);
             let timeout = self.proto.retransmit_timeout;
-            self.timer_at(emitted.cpu_done + timeout, TimerKind::Retransmit { pid, seq });
+            self.timer_at(
+                emitted.cpu_done + timeout,
+                TimerKind::Retransmit { pid, seq },
+            );
         }
     }
 
@@ -334,7 +341,8 @@ impl<'a> Ctx<'a> {
             }
             let (msg, seg) = if sender.is_local_to(self.host.logical) {
                 match self.host.proc(sender) {
-                    Some(sp) if matches!(sp.state, ProcState::AwaitingReplyLocal { to } if to == receiver) => {
+                    Some(sp) if matches!(sp.state, ProcState::AwaitingReplyLocal { to } if to == receiver) =>
+                    {
                         let msg = sp.out_msg;
                         let seg = match msg.segment() {
                             Some(g) if g.access.allows_read() && g.len > 0 => SegData::Local {
@@ -639,8 +647,7 @@ impl<'a> Ctx<'a> {
         let off = om.next_off;
         let n = (self.proto.max_data_per_packet as u32).min(om.total - off);
         let last = off + n == om.total;
-        let (seq, dest_pid, dest_addr, src_addr) =
-            (om.seq, om.dest_pid, om.dest_addr, om.src_addr);
+        let (seq, dest_pid, dest_addr, src_addr) = (om.seq, om.dest_pid, om.dest_addr, om.src_addr);
         let data = {
             let mp = self.host.proc(mover).expect("mover exists");
             mp.space
@@ -980,7 +987,10 @@ impl<'a> Ctx<'a> {
         self.host.stats.retransmissions += 1;
         let emitted = self.emit_bytes(t, packet, to.host());
         let timeout = self.proto.retransmit_timeout;
-        self.timer_at(emitted.cpu_done + timeout, TimerKind::Retransmit { pid, seq });
+        self.timer_at(
+            emitted.cpu_done + timeout,
+            TimerKind::Retransmit { pid, seq },
+        );
     }
 
     pub(crate) fn transfer_stall_timer(&mut self, t: SimTime, pid: Pid, seq: u32, marker: u32) {
@@ -1173,7 +1183,11 @@ impl<'a> Ctx<'a> {
                 };
                 self.handle_moveto_data(t, src, dst, seq, dest, offset, total, last, data);
             }
-            Body::MoveFromReq { src: addr, offset, total } => {
+            Body::MoveFromReq {
+                src: addr,
+                offset,
+                total,
+            } => {
                 let (Some(src), Some(dst)) = (src, dst) else {
                     return;
                 };
@@ -1311,6 +1325,8 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    // Parameters mirror the fields of a wire `Body::Reply` one-for-one.
+    #[allow(clippy::too_many_arguments)]
     fn handle_reply_pkt(
         &mut self,
         t: SimTime,
@@ -1323,10 +1339,7 @@ impl<'a> Ctx<'a> {
     ) {
         let grant = match self.host.proc(dst).map(|p| &p.state) {
             Some(ProcState::AwaitingReplyRemote {
-                to,
-                seq: s,
-                grant,
-                ..
+                to, seq: s, grant, ..
             }) if *to == src && *s == seq => *grant,
             _ => return, // duplicate or stale reply
         };
@@ -1504,12 +1517,10 @@ impl<'a> Ctx<'a> {
             }
         };
         let n = data.len() as u32;
-        let ok = grant
-            .check(dest, n, Access::Write)
-            .and_then(|_| {
-                let pcb = self.host.proc_mut(dst).expect("checked");
-                pcb.space.write(dest, &data)
-            });
+        let ok = grant.check(dest, n, Access::Write).and_then(|_| {
+            let pcb = self.host.proc_mut(dst).expect("checked");
+            pcb.space.write(dest, &data)
+        });
         if ok.is_err() {
             self.host.in_moves.remove(&key);
             let pkt = Packet {
@@ -1650,8 +1661,7 @@ impl<'a> Ctx<'a> {
                 self.host.stats.transfer_resumes += 1;
                 let f = self.host.in_fetches.get_mut(&uid).expect("exists");
                 f.marker = f.marker.wrapping_add(1);
-                let (seq, src_pid, src_addr, total_rem) =
-                    (f.seq, f.src_pid, f.src_addr, f.total);
+                let (seq, src_pid, src_addr, total_rem) = (f.seq, f.src_pid, f.src_addr, f.total);
                 let pkt = Packet {
                     seq,
                     src_pid: dst.raw(),

@@ -6,8 +6,8 @@ use v_net::{EtherType, Nic};
 use v_sim::SimTime;
 
 use crate::aliens::AlienTable;
-use crate::cpu::Cpu;
 use crate::costs::CostModel;
+use crate::cpu::Cpu;
 use crate::event::HostId;
 use crate::hostmap::HostMap;
 use crate::naming::NameTable;

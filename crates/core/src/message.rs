@@ -69,7 +69,12 @@ impl Message {
     ///
     /// Panics if `off + 4 > 32`.
     pub fn get_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes([self.0[off], self.0[off + 1], self.0[off + 2], self.0[off + 3]])
+        u32::from_le_bytes([
+            self.0[off],
+            self.0[off + 1],
+            self.0[off + 2],
+            self.0[off + 3],
+        ])
     }
 
     /// Writes a little-endian u32 at byte offset `off`.

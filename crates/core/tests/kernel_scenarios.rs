@@ -34,9 +34,7 @@ impl Program for GrantingSender {
                 api.send(m, self.to);
             }
             Outcome::Send(r) => {
-                self.log
-                    .borrow_mut()
-                    .push(format!("send:{}", r.is_ok()));
+                self.log.borrow_mut().push(format!("send:{}", r.is_ok()));
                 api.exit();
             }
             _ => api.exit(),
@@ -274,10 +272,7 @@ fn reply_with_segment_respects_write_grant() {
         if expect_ok {
             assert!(log.iter().any(|s| s == "reply:Ok(())"), "{log:?}");
         } else {
-            assert!(
-                log.iter().any(|s| s.contains("NoSegmentAccess")),
-                "{log:?}"
-            );
+            assert!(log.iter().any(|s| s.contains("NoSegmentAccess")), "{log:?}");
         }
     }
 }

@@ -220,11 +220,17 @@ impl FsClient {
             }
             FsCall::ReadExpect { block, count, .. } => {
                 api.mem_fill(DATA_BUF, count as usize, 0x00).expect("fits");
-                api.send(stub::read(self.file, block, count, DATA_BUF, tag), self.server);
+                api.send(
+                    stub::read(self.file, block, count, DATA_BUF, tag),
+                    self.server,
+                );
             }
             FsCall::WriteFill { block, count, fill } => {
                 api.mem_fill(DATA_BUF, count as usize, fill).expect("fits");
-                api.send(stub::write(self.file, block, count, DATA_BUF, tag), self.server);
+                api.send(
+                    stub::write(self.file, block, count, DATA_BUF, tag),
+                    self.server,
+                );
             }
             FsCall::QueryExpect(_) => {
                 api.send(stub::query(self.file, tag), self.server);

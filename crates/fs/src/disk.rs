@@ -45,8 +45,8 @@ impl DiskModel {
     /// is in memory. Requests queue behind each other (one arm).
     pub fn request(&mut self, now: SimTime, bytes: usize) -> SimTime {
         let start = now.max(self.busy_until);
-        let mut service = self.access
-            + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64);
+        let mut service =
+            self.access + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64);
         if !self.jitter.is_zero() {
             service += SimDuration::from_nanos(self.rng.below(self.jitter.as_nanos().max(1)));
         }
@@ -101,9 +101,6 @@ mod tests {
     #[test]
     fn service_estimate_matches_fixed_part() {
         let d = DiskModel::fixed(SimDuration::from_millis(20));
-        assert_eq!(
-            d.service_estimate(512),
-            SimDuration::from_micros(20_512)
-        );
+        assert_eq!(d.service_estimate(512), SimDuration::from_micros(20_512));
     }
 }

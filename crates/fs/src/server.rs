@@ -235,7 +235,10 @@ impl FileServer {
         let cur = self.current.as_ref().expect("request in progress");
         let req = cur.req;
         let from = cur.from;
-        match self.store.read_block(req.file, req.block, req.count as usize) {
+        match self
+            .store
+            .read_block(req.file, req.block, req.count as usize)
+        {
             Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
             Ok(data) => {
                 let n = data.len() as u32;
@@ -258,11 +261,7 @@ impl FileServer {
                 // Read-ahead: start fetching the next block now.
                 if self.cfg.read_ahead {
                     let next = req.block + 1;
-                    if self
-                        .store
-                        .read_block(req.file, next, BLOCK_SIZE)
-                        .is_ok()
-                    {
+                    if self.store.read_block(req.file, next, BLOCK_SIZE).is_ok() {
                         let ready = self.cfg.disk.request(api.now(), BLOCK_SIZE);
                         self.prefetch = Some((req.file, next, ready));
                     }
@@ -341,10 +340,11 @@ impl Program for FileServer {
                     IoOp::ReadLarge => {
                         let cur = self.current.as_ref().expect("in progress");
                         let req = cur.req;
-                        match self
-                            .store
-                            .read_range(req.file, req.block as usize * BLOCK_SIZE, req.count as usize)
-                        {
+                        match self.store.read_range(
+                            req.file,
+                            req.block as usize * BLOCK_SIZE,
+                            req.count as usize,
+                        ) {
                             Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
                             Ok(data) => {
                                 let data = data.to_vec();

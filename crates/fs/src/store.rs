@@ -91,17 +91,14 @@ impl BlockStore {
     }
 
     fn file_mut(&mut self, id: FileId) -> Result<&mut File, StoreError> {
-        self.files.get_mut(id.0 as usize).ok_or(StoreError::NotFound)
+        self.files
+            .get_mut(id.0 as usize)
+            .ok_or(StoreError::NotFound)
     }
 
     /// Reads up to `count` bytes of block `block` (the tail block may be
     /// short).
-    pub fn read_block(
-        &self,
-        id: FileId,
-        block: u32,
-        count: usize,
-    ) -> Result<&[u8], StoreError> {
+    pub fn read_block(&self, id: FileId, block: u32, count: usize) -> Result<&[u8], StoreError> {
         let f = self.file(id)?;
         let start = block as usize * BLOCK_SIZE;
         if start >= f.data.len() && !(start == 0 && f.data.is_empty()) {

@@ -132,9 +132,6 @@ mod tests {
             ..FaultPlan::NONE
         };
         let mut rng = SplitMix64::new(5);
-        assert_eq!(
-            plan.draw(&mut rng),
-            Fate::DeliverTwice { corrupted: false }
-        );
+        assert_eq!(plan.draw(&mut rng), Fate::DeliverTwice { corrupted: false });
     }
 }

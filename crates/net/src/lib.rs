@@ -34,7 +34,5 @@ pub mod nic;
 
 pub use fault::FaultPlan;
 pub use frame::{EtherType, Frame, MacAddr};
-pub use medium::{
-    CollisionBug, Delivery, Ethernet, MediumStats, NetParams, NetworkKind, TxResult,
-};
+pub use medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetParams, NetworkKind, TxResult};
 pub use nic::Nic;

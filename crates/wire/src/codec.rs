@@ -53,7 +53,10 @@ impl std::fmt::Display for WireError {
             WireError::BadChecksum => write!(f, "checksum mismatch"),
             WireError::UnknownKind(k) => write!(f, "unknown packet kind {k}"),
             WireError::LengthMismatch { claimed, actual } => {
-                write!(f, "payload length mismatch: claimed {claimed}, got {actual}")
+                write!(
+                    f,
+                    "payload length mismatch: claimed {claimed}, got {actual}"
+                )
             }
             WireError::Malformed => write!(f, "malformed packet body"),
         }
@@ -444,10 +447,7 @@ mod tests {
         let p = &sample_packets()[0];
         let bytes = encode(p);
         let cut = &bytes[..bytes.len() - 8];
-        assert!(matches!(
-            decode(cut),
-            Err(WireError::LengthMismatch { .. })
-        ));
+        assert!(matches!(decode(cut), Err(WireError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -21,16 +21,22 @@ fn arb_status() -> impl Strategy<Value = TransferStatus> {
 fn arb_body() -> impl Strategy<Value = v_wire::packet::Body> {
     use v_wire::packet::Body;
     prop_oneof![
-        (arb_msg(), prop::collection::vec(any::<u8>(), 0..600), any::<u32>()).prop_map(
-            |(msg, appended, appended_from)| Body::Send {
+        (
+            arb_msg(),
+            prop::collection::vec(any::<u8>(), 0..600),
+            any::<u32>()
+        )
+            .prop_map(|(msg, appended, appended_from)| Body::Send {
                 msg,
                 appended,
                 appended_from,
-            }
-        ),
-        (arb_msg(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..600)).prop_map(
-            |(msg, seg_dest, seg)| Body::Reply { msg, seg_dest, seg }
-        ),
+            }),
+        (
+            arb_msg(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..600)
+        )
+            .prop_map(|(msg, seg_dest, seg)| Body::Reply { msg, seg_dest, seg }),
         Just(Body::ReplyPending),
         Just(Body::Nack),
         (
@@ -47,9 +53,8 @@ fn arb_body() -> impl Strategy<Value = v_wire::packet::Body> {
                 last,
                 data,
             }),
-        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(src, offset, total)| {
-            Body::MoveFromReq { src, offset, total }
-        }),
+        (any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(src, offset, total)| { Body::MoveFromReq { src, offset, total } }),
         (
             any::<u32>(),
             any::<u32>(),
@@ -62,15 +67,11 @@ fn arb_body() -> impl Strategy<Value = v_wire::packet::Body> {
                 last,
                 data,
             }),
-        (any::<u32>(), arb_status()).prop_map(|(received, status)| Body::TransferAck {
-            received,
-            status,
-        }),
+        (any::<u32>(), arb_status())
+            .prop_map(|(received, status)| Body::TransferAck { received, status }),
         any::<u32>().prop_map(|logical_id| Body::GetPidReq { logical_id }),
-        (any::<u32>(), any::<u32>()).prop_map(|(logical_id, pid)| Body::GetPidReply {
-            logical_id,
-            pid,
-        }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(logical_id, pid)| Body::GetPidReply { logical_id, pid }),
     ]
 }
 

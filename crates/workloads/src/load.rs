@@ -30,7 +30,12 @@ pub struct LoadServer {
 
 impl LoadServer {
     /// Creates a load server.
-    pub fn new(image: u32, transfer_unit: u32, pattern: u8, report: Probe<RunReport>) -> LoadServer {
+    pub fn new(
+        image: u32,
+        transfer_unit: u32,
+        pattern: u8,
+        report: Probe<RunReport>,
+    ) -> LoadServer {
         LoadServer {
             image,
             transfer_unit,
@@ -100,7 +105,13 @@ pub struct LoadClient {
 
 impl LoadClient {
     /// Creates a load client.
-    pub fn new(server: Pid, image: u32, n: u64, pattern: u8, report: Probe<RunReport>) -> LoadClient {
+    pub fn new(
+        server: Pid,
+        image: u32,
+        n: u64,
+        pattern: u8,
+        report: Probe<RunReport>,
+    ) -> LoadClient {
         LoadClient {
             server,
             image,

@@ -127,10 +127,12 @@ mod tests {
 
     #[test]
     fn per_op_accounting() {
-        let mut r = RunReport::default();
-        r.started = Some(SimTime::from_millis(10));
-        r.finished = Some(SimTime::from_millis(110));
-        r.iterations = 100;
+        let mut r = RunReport {
+            started: Some(SimTime::from_millis(10)),
+            finished: Some(SimTime::from_millis(110)),
+            iterations: 100,
+            ..RunReport::default()
+        };
         assert!((r.per_op_ms() - 1.0).abs() < 1e-9);
         assert!(r.clean());
         r.failures = 1;
@@ -139,9 +141,11 @@ mod tests {
 
     #[test]
     fn zero_iterations_is_zero_per_op() {
-        let mut r = RunReport::default();
-        r.started = Some(SimTime::ZERO);
-        r.finished = Some(SimTime::from_millis(5));
+        let r = RunReport {
+            started: Some(SimTime::ZERO),
+            finished: Some(SimTime::from_millis(5)),
+            ..RunReport::default()
+        };
         assert_eq!(r.per_op_ms(), 0.0);
     }
 

@@ -52,7 +52,10 @@ impl CapacityServer {
                 let buf = msg.get_u32(12);
                 let mut reply = Message::empty();
                 reply.set_u32(8, 512);
-                if api.reply_with_segment(reply, from, buf, SRV_BUF, 512).is_err() {
+                if api
+                    .reply_with_segment(reply, from, buf, SRV_BUF, 512)
+                    .is_err()
+                {
                     self.report.borrow_mut().failures += 1;
                 }
                 api.receive();
@@ -80,7 +83,8 @@ impl Program for CapacityServer {
     fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
         match outcome {
             Outcome::Started => {
-                api.mem_fill(SRV_BUF, self.image as usize, 0x42).expect("fits");
+                api.mem_fill(SRV_BUF, self.image as usize, 0x42)
+                    .expect("fits");
                 api.receive();
             }
             Outcome::Receive { from, msg } => {
@@ -262,12 +266,24 @@ mod tests {
         cl.spawn(
             HostId(1),
             "ws1",
-            Box::new(MixedClient::new(server, 200, SimDuration::from_millis(20), 1, st1.clone())),
+            Box::new(MixedClient::new(
+                server,
+                200,
+                SimDuration::from_millis(20),
+                1,
+                st1.clone(),
+            )),
         );
         cl.spawn(
             HostId(2),
             "ws2",
-            Box::new(MixedClient::new(server, 200, SimDuration::from_millis(20), 2, st2.clone())),
+            Box::new(MixedClient::new(
+                server,
+                200,
+                SimDuration::from_millis(20),
+                2,
+                st2.clone(),
+            )),
         );
         cl.run();
         assert_eq!(rep.borrow().failures, 0);

@@ -71,11 +71,7 @@ pub fn run_pairs(
         .unwrap_or_else(|| cluster.now());
     let elapsed = finish.since(start);
 
-    let mean = reports
-        .iter()
-        .map(|r| r.borrow().per_op_ms())
-        .sum::<f64>()
-        / pairs as f64;
+    let mean = reports.iter().map(|r| r.borrow().per_op_ms()).sum::<f64>() / pairs as f64;
     let ms = cluster.medium_stats();
     let mut retrans = 0;
     for h in 0..cluster.num_hosts() {
@@ -122,7 +118,11 @@ mod tests {
         let res = run_pairs(&mut cl, 2, 500, v_sim::SimDuration::from_millis(1));
         assert_eq!(res.retransmissions, 0);
         // Deferrals only; well under 5 % degradation vs 3.18 ms.
-        assert!(res.mean_per_op_ms < 3.35, "mean = {:.3}", res.mean_per_op_ms);
+        assert!(
+            res.mean_per_op_ms < 3.35,
+            "mean = {:.3}",
+            res.mean_per_op_ms
+        );
     }
 
     #[test]

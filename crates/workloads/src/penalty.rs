@@ -158,7 +158,13 @@ mod tests {
     #[test]
     fn penalty_8mhz_matches_paper_values() {
         // Table 4-1, 8 MHz column.
-        for (n, paper) in [(64usize, 0.80), (128, 1.20), (256, 2.00), (512, 3.65), (1024, 6.95)] {
+        for (n, paper) in [
+            (64usize, 0.80),
+            (128, 1.20),
+            (256, 2.00),
+            (512, 3.65),
+            (1024, 6.95),
+        ] {
             let cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At8MHz);
             let mut cl = Cluster::new(cfg);
             let (ms, _) = measure_penalty(&mut cl, n, 200);

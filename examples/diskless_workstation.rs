@@ -88,7 +88,10 @@ fn main() {
 
     let e = edit.borrow();
     assert!(e.done && e.errors == 0 && e.integrity_errors == 0, "{e:?}");
-    println!("ws2 completed {} file operations, all verified", e.completed);
+    println!(
+        "ws2 completed {} file operations, all verified",
+        e.completed
+    );
 
     println!(
         "file server CPU utilization: {:.1}%",

@@ -42,8 +42,7 @@ fn run(workstations: usize) -> (f64, f64, f64) {
     cluster.run();
     let secs = cluster.now().since(t0).as_secs_f64();
     let total: u64 = stats.iter().map(|s| s.borrow().requests()).sum();
-    let page_ms =
-        stats.iter().map(|s| s.borrow().page_ms()).sum::<f64>() / workstations as f64;
+    let page_ms = stats.iter().map(|s| s.borrow().page_ms()).sum::<f64>() / workstations as f64;
     (
         total as f64 / secs,
         page_ms,

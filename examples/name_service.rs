@@ -95,7 +95,11 @@ fn main() {
             queries: vec![
                 ("FILE_SERVER", logical::FILE_SERVER, Scope::Both),
                 ("FILE_SERVER", logical::FILE_SERVER, Scope::Local),
-                ("NAME_SERVER (registered Local on another host)", logical::NAME_SERVER, Scope::Both),
+                (
+                    "NAME_SERVER (registered Local on another host)",
+                    logical::NAME_SERVER,
+                    Scope::Both,
+                ),
                 ("EXEC_SERVER (nowhere)", logical::EXEC_SERVER, Scope::Both),
             ],
             at: 0,

@@ -49,7 +49,10 @@ fn main() {
     cluster.run();
     let r = rep.borrow();
     assert!(r.clean(), "transfer failed: {r:?}");
-    println!("remote MoveTo 1024 bytes:  {:.2} ms   (paper: 9.05 ms)", r.per_op_ms());
+    println!(
+        "remote MoveTo 1024 bytes:  {:.2} ms   (paper: 9.05 ms)",
+        r.per_op_ms()
+    );
 
     let stats = cluster.kernel_stats(HostId(0));
     println!(

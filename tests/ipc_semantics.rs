@@ -4,8 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use v_kernel::{
-    Access, Api, Cluster, ClusterConfig, CpuSpeed, HostId, Message, Outcome, Pid,
-    Program,
+    Access, Api, Cluster, ClusterConfig, CpuSpeed, HostId, Message, Outcome, Pid, Program,
 };
 
 fn cluster(hosts: usize) -> Cluster {
@@ -35,7 +34,9 @@ impl Program for OneShot {
                 api.exit();
             }
             Outcome::Send(Err(e)) => {
-                self.log.borrow_mut().push(format!("err:{}:{e:?}", self.tag));
+                self.log
+                    .borrow_mut()
+                    .push(format!("err:{}:{e:?}", self.tag));
                 api.exit();
             }
             _ => api.exit(),
@@ -77,7 +78,10 @@ fn messages_queue_fcfs_and_replies_route_back() {
     let server = cl.spawn(
         HostId(0),
         "server",
-        Box::new(OrderedServer { n: 3, log: log.clone() }),
+        Box::new(OrderedServer {
+            n: 3,
+            log: log.clone(),
+        }),
     );
     // Three remote clients send in a staggered order; the server is not
     // receiving yet, so messages queue FCFS at its kernel.
@@ -135,9 +139,15 @@ fn send_to_nonexistent_local_and_remote_process_fails() {
     );
     cl.run();
     let log = log.borrow();
-    assert!(log.contains(&"err:1:NonexistentProcess".to_string()), "{log:?}");
+    assert!(
+        log.contains(&"err:1:NonexistentProcess".to_string()),
+        "{log:?}"
+    );
     // Remote failure arrives as a Nack from the peer kernel.
-    assert!(log.contains(&"err:2:NonexistentProcess".to_string()), "{log:?}");
+    assert!(
+        log.contains(&"err:2:NonexistentProcess".to_string()),
+        "{log:?}"
+    );
     assert!(cl.kernel_stats(HostId(1)).nacks_sent >= 1);
 }
 
@@ -160,7 +170,10 @@ fn send_to_unreachable_host_times_out_after_n_retries() {
         }),
     );
     cl.run();
-    assert!(log.borrow().contains(&"err:9:Timeout".to_string()), "{log:?}");
+    assert!(
+        log.borrow().contains(&"err:9:Timeout".to_string()),
+        "{log:?}"
+    );
     let st = cl.kernel_stats(HostId(0));
     assert_eq!(st.send_timeouts, 1);
     assert_eq!(st.retransmissions as u32, cl.config().protocol.max_retries);
@@ -241,8 +254,14 @@ fn exit_unblocks_local_senders_and_nacks_remote_ones() {
     );
     cl.run();
     let log = log.borrow();
-    assert!(log.contains(&"err:1:NonexistentProcess".to_string()), "{log:?}");
-    assert!(log.contains(&"err:2:NonexistentProcess".to_string()), "{log:?}");
+    assert!(
+        log.contains(&"err:1:NonexistentProcess".to_string()),
+        "{log:?}"
+    );
+    assert!(
+        log.contains(&"err:2:NonexistentProcess".to_string()),
+        "{log:?}"
+    );
 }
 
 #[test]
@@ -264,9 +283,7 @@ fn receive_with_segment_delivers_appended_data_and_plain_receive_drops_it() {
                 Outcome::ReceiveSeg { from, seg_len, .. } => {
                     let data = api.mem_read(0x1000, seg_len as usize).unwrap();
                     let ok = data.iter().all(|&b| b == 0xEE);
-                    self.log
-                        .borrow_mut()
-                        .push(format!("seg:{seg_len}:{ok}"));
+                    self.log.borrow_mut().push(format!("seg:{seg_len}:{ok}"));
                     api.reply(Message::empty(), from).unwrap();
                     api.exit();
                 }

@@ -3,7 +3,7 @@
 //! crossovers fall). The tight quantitative pins live in
 //! `crates/bench/tests/calibration.rs`.
 
-use v_kernel::{CpuSpeed, Cluster, ClusterConfig, HostId};
+use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId};
 use v_sim::SimDuration;
 use v_workloads::echo::{EchoServer, Pinger};
 use v_workloads::measure::probe;
@@ -11,7 +11,11 @@ use v_workloads::measure::probe;
 fn srr_ms(speed: CpuSpeed, remote: bool) -> f64 {
     let cfg = ClusterConfig::three_mb().with_hosts(2, speed);
     let mut cl = Cluster::new(cfg);
-    let server = cl.spawn(HostId(if remote { 1 } else { 0 }), "echo", Box::new(EchoServer));
+    let server = cl.spawn(
+        HostId(if remote { 1 } else { 0 }),
+        "echo",
+        Box::new(EchoServer),
+    );
     let rep = probe(Default::default());
     cl.spawn(
         HostId(0),
@@ -46,8 +50,14 @@ fn faster_processor_helps_remote_ops_too() {
     let r10 = srr_ms(CpuSpeed::Mc68000At10MHz, true);
     let local_gain = 1.0 - l10 / l8;
     let remote_gain = 1.0 - r10 / r8;
-    assert!((0.18..0.30).contains(&local_gain), "local gain {local_gain:.2}");
-    assert!((0.10..0.25).contains(&remote_gain), "remote gain {remote_gain:.2}");
+    assert!(
+        (0.18..0.30).contains(&local_gain),
+        "local gain {local_gain:.2}"
+    );
+    assert!(
+        (0.10..0.25).contains(&remote_gain),
+        "remote gain {remote_gain:.2}"
+    );
 }
 
 #[test]
@@ -100,7 +110,14 @@ fn page_read_sits_within_2ms_of_the_network_penalty() {
     cl.spawn(
         HostId(0),
         "client",
-        Box::new(PageClient::new(server, PageOp::Read, 512, 200, 0x7E, rep.clone())),
+        Box::new(PageClient::new(
+            server,
+            PageOp::Read,
+            512,
+            200,
+            0x7E,
+            rep.clone(),
+        )),
     );
     cl.run();
     let r = rep.borrow();
@@ -190,7 +207,10 @@ fn program_loading_shape_holds() {
     // Steep part: 1 KB → 64 KB gains > 25 %.
     assert!((results[0] - results[3]) / results[0] > 0.25);
     let rate_kbs = 64.0 / (results[3] / 1000.0);
-    assert!((150.0..230.0).contains(&rate_kbs), "rate {rate_kbs:.0} KB/s");
+    assert!(
+        (150.0..230.0).contains(&rate_kbs),
+        "rate {rate_kbs:.0} KB/s"
+    );
 }
 
 #[test]

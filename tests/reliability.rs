@@ -47,7 +47,10 @@ fn exchanges_complete_exactly_once_under_loss_dup_and_corruption() {
         s.duplicates_filtered > 0 || s.replies_retransmitted > 0,
         "server must have seen duplicates: {s:?}"
     );
-    assert!(c.checksum_drops + s.checksum_drops > 0, "corruption must be caught");
+    assert!(
+        c.checksum_drops + s.checksum_drops > 0,
+        "corruption must be caught"
+    );
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! Offline subset of the `criterion` crate API.
+//!
+//! The workspace builds without a crates.io mirror, so
+//! `crates/bench/benches/paper_tables.rs` links against this shim. It
+//! implements the surface the paper-table benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — measuring with
+//! plain `std::time::Instant` and reporting min/mean/max per function.
+//! No statistical analysis, HTML reports, or regression detection; swap
+//! the workspace `criterion` dependency for the real crate when a
+//! registry is available.
+
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Summary)>,
+}
+
+struct Summary {
+    samples: usize,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        eprintln!("{} benchmark functions completed", self.results.len());
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            rounds: self.sample_size,
+        };
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1);
+        let total: Duration = bencher.samples.iter().sum();
+        let summary = Summary {
+            samples: n,
+            min: bencher.samples.iter().min().copied().unwrap_or_default(),
+            mean: total / n as u32,
+            max: bencher.samples.iter().max().copied().unwrap_or_default(),
+        };
+        eprintln!(
+            "  {}/{id}: mean {:?} (min {:?}, max {:?}, {} samples)",
+            self.group, summary.mean, summary.min, summary.max, summary.samples
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{id}", self.group), summary));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+}
+
+/// Identity function that defeats constant-folding of the argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and test-harness flags like
+            // `--test`); a plain-main harness just ignores them.
+            $($group();)+
+        }
+    };
+}
