@@ -95,17 +95,78 @@ impl Comparison {
             .fold(0.0, f64::max)
     }
 
-    /// Looks up a row's measured value by metric name.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no row has that metric (a test-harness usage error).
-    pub fn get(&self, metric: &str) -> f64 {
+    /// Looks up a row's measured value by metric name. `None` when no
+    /// row carries that metric — callers decide whether that is a test
+    /// failure or a recoverable miss; a renamed metric must never be
+    /// able to abort the whole bench binary.
+    pub fn get(&self, metric: &str) -> Option<f64> {
         self.rows
             .iter()
             .find(|r| r.metric == metric)
-            .unwrap_or_else(|| panic!("no row named {metric:?} in {}", self.id))
-            .ours
+            .map(|r| r.ours)
+    }
+
+    /// Serializes the comparison as a JSON object (id, title, rows with
+    /// paper/ours/deviation, notes, worst deviation) for machine
+    /// consumption — CI diffs these across commits.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!(
+            "  \"worst_deviation\": {},\n",
+            json_num(self.worst_deviation())
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"metric\": {}, \"paper\": {}, \"ours\": {}, \"deviation\": {}, \"unit\": {}}}{sep}\n",
+                json_str(&r.metric),
+                r.paper.map_or("null".to_string(), json_num),
+                json_num(r.ours),
+                r.deviation().map_or("null".to_string(), json_num),
+                json_str(r.unit),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes our ids/titles/notes can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite values print plainly; non-finite become null
+/// (JSON has no NaN/Infinity).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -157,7 +218,7 @@ mod tests {
         c.push("b", 2.0, 1.6, "ms");
         c.push_ours("c", 9.0, "ms");
         assert!((c.worst_deviation() - 0.2).abs() < 1e-9);
-        assert_eq!(c.get("c"), 9.0);
+        assert_eq!(c.get("c"), Some(9.0));
     }
 
     #[test]
@@ -172,8 +233,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no row named")]
-    fn get_missing_row_panics() {
-        Comparison::new("T", "t").get("missing");
+    fn get_missing_row_is_none() {
+        assert_eq!(Comparison::new("T", "t").get("missing"), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut c = Comparison::new("Table X", "a \"quoted\" demo");
+        c.push("metric one", 1.0, 1.1, "ms");
+        c.push_ours("extra", 9.0, "KB/s");
+        c.note("line\nbreak");
+        let j = c.to_json();
+        assert!(j.contains("\"id\": \"Table X\""));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"paper\": 1, \"ours\": 1.1"));
+        assert!(j.contains("\"paper\": null"));
+        assert!(j.contains("\"deviation\": null"));
+        assert!(j.contains("\\nbreak"));
+        assert!(j.contains("\"worst_deviation\":"));
+        // Balanced braces/brackets: a cheap structural sanity check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close} in {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_non_finite_is_null() {
+        let mut c = Comparison::new("T", "t");
+        c.push("x", 0.0, f64::NAN, "ms");
+        let j = c.to_json();
+        assert!(j.contains("\"ours\": null"));
+        assert!(!j.contains("NaN"));
     }
 }

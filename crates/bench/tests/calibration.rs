@@ -7,9 +7,16 @@ use v_bench::experiments as exp;
 use v_bench::report::Comparison;
 use v_kernel::CpuSpeed;
 
+/// Looks up a metric, failing the test with a clear message when an
+/// experiment renamed it out from under the pins.
+fn metric_of(c: &Comparison, name: &str) -> f64 {
+    c.get(name)
+        .unwrap_or_else(|| panic!("{}: no row named {name:?} — renamed metric?", c.id))
+}
+
 /// Asserts a comparison row is within `tol` (fractional) of the paper.
 fn pin(c: &Comparison, metric: &str, paper: f64, tol: f64) {
-    let ours = c.get(metric);
+    let ours = metric_of(c, metric);
     let dev = (ours - paper).abs() / paper.abs();
     assert!(
         dev <= tol,
@@ -123,12 +130,12 @@ fn section_6_comparators() {
     // V IPC must sit within ~2 ms of the specialized protocol (which
     // legitimately runs leaner 12-byte headers, so it even undercuts the
     // 64/576-byte penalty figure slightly).
-    let gap = wfs.get("V IPC overhead vs specialized");
+    let gap = metric_of(&wfs, "V IPC overhead vs specialized");
     assert!((0.0..2.1).contains(&gap), "V IPC vs WFS gap {gap:.2} ms");
 
     let streaming = exp::streaming_comparison();
     for disk in [10u64, 15, 20] {
-        let gain = streaming.get(&format!("streaming gain, disk {disk} ms"));
+        let gain = metric_of(&streaming, &format!("streaming gain, disk {disk} ms"));
         assert!(
             (0.0..15.0).contains(&gain),
             "disk {disk}: streaming gain {gain:.1}% outside the paper's bound"
@@ -148,8 +155,8 @@ fn section_7_capacity() {
     // Absolute latencies include head-of-line blocking behind 64 KB
     // loads, which the paper's CPU-budget estimate ignores entirely —
     // a reproduction finding recorded in EXPERIMENTS.md.
-    let page10 = c.get("10 workstations: page response");
+    let page10 = metric_of(&c, "10 workstations: page response");
     assert!(page10 < 150.0, "10-ws page response {page10:.1} ms");
-    let knee = c.get("degradation knee (30 ws vs 10 ws response)");
+    let knee = metric_of(&c, "degradation knee (30 ws vs 10 ws response)");
     assert!(knee > 3.0, "no saturation knee: {knee:.1}x");
 }

@@ -20,6 +20,7 @@ use v_sim::SimTime;
 
 use crate::message::Message;
 use crate::pid::Pid;
+use v_wire::SendBody;
 
 /// Delivery state of an alien's message exchange.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,22 +109,13 @@ impl AlienTable {
         self.map.get_mut(&src)
     }
 
-    /// Judges an arriving Send packet and updates the table.
+    /// Judges an arriving Send packet body and updates the table.
     ///
     /// `newer(a, b)` on sequence numbers is wrapping-aware: the sender
     /// increments per exchange, and because the sender is synchronous a
     /// numerically newer sequence implies the previous exchange completed,
     /// so its alien may be reused.
-    #[allow(clippy::too_many_arguments)]
-    pub fn admit(
-        &mut self,
-        src: Pid,
-        seq: u32,
-        dst: Pid,
-        msg: Message,
-        appended: Vec<u8>,
-        appended_from: u32,
-    ) -> SendVerdict {
+    pub fn admit(&mut self, src: Pid, seq: u32, dst: Pid, body: SendBody) -> SendVerdict {
         if let Some(alien) = self.map.get(&src) {
             if alien.seq == seq {
                 return match &alien.state {
@@ -149,9 +141,9 @@ impl AlienTable {
                 src,
                 seq,
                 dst,
-                msg,
-                appended,
-                appended_from,
+                msg: Message::from_bytes(body.msg),
+                appended: body.appended,
+                appended_from: body.appended_from,
                 state: AlienState::Queued,
             },
         );
@@ -219,10 +211,18 @@ mod tests {
         AlienTable::new(cap)
     }
 
+    fn body() -> SendBody {
+        SendBody {
+            msg: [0u8; 32],
+            appended: vec![],
+            appended_from: 0,
+        }
+    }
+
     #[test]
     fn fresh_message_is_delivered() {
         let mut t = table(4);
-        let v = t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
+        let v = t.admit(pid(2, 1), 1, pid(1, 1), body());
         assert!(matches!(v, SendVerdict::Deliver));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(pid(2, 1)).unwrap().state, AlienState::Queued);
@@ -231,20 +231,20 @@ mod tests {
     #[test]
     fn duplicate_before_reply_gets_reply_pending() {
         let mut t = table(4);
-        t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
-        let v = t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 1, pid(1, 1), body());
+        let v = t.admit(pid(2, 1), 1, pid(1, 1), body());
         assert!(matches!(v, SendVerdict::ReplyPending));
     }
 
     #[test]
     fn duplicate_after_reply_retransmits_cached_reply() {
         let mut t = table(4);
-        t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 1, pid(1, 1), body());
         t.get_mut(pid(2, 1)).unwrap().state = AlienState::Replied {
             packet: vec![1, 2, 3],
             at: SimTime::ZERO,
         };
-        let v = t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
+        let v = t.admit(pid(2, 1), 1, pid(1, 1), body());
         match v {
             SendVerdict::RetransmitReply(p) => assert_eq!(p, vec![1, 2, 3]),
             other => panic!("expected retransmit, got {other:?}"),
@@ -254,12 +254,12 @@ mod tests {
     #[test]
     fn newer_seq_replaces_old_alien() {
         let mut t = table(4);
-        t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 1, pid(1, 1), body());
         t.get_mut(pid(2, 1)).unwrap().state = AlienState::Replied {
             packet: vec![],
             at: SimTime::ZERO,
         };
-        let v = t.admit(pid(2, 1), 2, pid(1, 1), Message::empty(), vec![], 0);
+        let v = t.admit(pid(2, 1), 2, pid(1, 1), body());
         assert!(matches!(v, SendVerdict::Deliver));
         assert_eq!(t.get(pid(2, 1)).unwrap().seq, 2);
         assert_eq!(t.len(), 1);
@@ -268,17 +268,17 @@ mod tests {
     #[test]
     fn stale_seq_is_dropped() {
         let mut t = table(4);
-        t.admit(pid(2, 1), 5, pid(1, 1), Message::empty(), vec![], 0);
-        let v = t.admit(pid(2, 1), 4, pid(1, 1), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 5, pid(1, 1), body());
+        let v = t.admit(pid(2, 1), 4, pid(1, 1), body());
         assert!(matches!(v, SendVerdict::Drop));
     }
 
     #[test]
     fn pool_exhaustion_yields_reply_pending() {
         let mut t = table(2);
-        t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
-        t.admit(pid(2, 2), 1, pid(1, 1), Message::empty(), vec![], 0);
-        let v = t.admit(pid(2, 3), 1, pid(1, 1), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 1, pid(1, 1), body());
+        t.admit(pid(2, 2), 1, pid(1, 1), body());
+        let v = t.admit(pid(2, 3), 1, pid(1, 1), body());
         assert!(matches!(v, SendVerdict::ReplyPending));
         assert_eq!(t.len(), 2);
     }
@@ -286,8 +286,8 @@ mod tests {
     #[test]
     fn sweep_frees_old_replies_only() {
         let mut t = table(4);
-        t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
-        t.admit(pid(2, 2), 1, pid(1, 1), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 1, pid(1, 1), body());
+        t.admit(pid(2, 2), 1, pid(1, 1), body());
         t.get_mut(pid(2, 1)).unwrap().state = AlienState::Replied {
             packet: vec![],
             at: SimTime::ZERO,
@@ -312,8 +312,8 @@ mod tests {
     #[test]
     fn addressed_to_finds_aliens() {
         let mut t = table(4);
-        t.admit(pid(2, 1), 1, pid(1, 1), Message::empty(), vec![], 0);
-        t.admit(pid(2, 2), 1, pid(1, 9), Message::empty(), vec![], 0);
+        t.admit(pid(2, 1), 1, pid(1, 1), body());
+        t.admit(pid(2, 2), 1, pid(1, 9), body());
         let v = t.addressed_to(pid(1, 1));
         assert_eq!(v, vec![pid(2, 1)]);
     }

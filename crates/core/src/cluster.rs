@@ -183,6 +183,14 @@ impl Cluster {
         self.hosts[host.0].proc(pid).is_some()
     }
 
+    /// Injects a frame as if it had just finished arriving at `host`'s
+    /// interface (testing aid: exercises the receive/dispatch path with
+    /// hand-built bytes that the in-simulation senders would never emit).
+    pub fn inject_frame(&mut self, host: HostId, frame: v_net::Frame) {
+        let at = self.now();
+        self.queue.schedule(at, Event::Frame { host, frame });
+    }
+
     /// Registers a raw protocol handler on a host (see [`RawHandler`]).
     pub fn register_raw_handler(
         &mut self,
@@ -325,7 +333,7 @@ impl Cluster {
         };
         {
             let mut ctx = self.ctx(host);
-            let mut raw = crate::ctx::RawCtxImpl::new(&mut ctx, t, EtherType(ethertype));
+            let mut raw = crate::ipc::dispatch::RawCtxImpl::new(&mut ctx, t, EtherType(ethertype));
             handler.on_timer(&mut raw, token);
         }
         self.hosts[host.0].raw.insert(ethertype, handler);

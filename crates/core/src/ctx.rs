@@ -1,30 +1,26 @@
-//! The kernel protocol engine.
+//! The shared-state core of the kernel protocol engine.
 //!
 //! [`Ctx`] is a split borrow of one host plus the shared medium, event
-//! queue and protocol configuration; every kernel code path — syscall
-//! execution, packet reception, timers, transfer pacing — is a method
-//! here. Timing discipline: a handler runs at its trigger's pop time,
-//! charges processor costs as it goes, and schedules every externally
-//! visible effect (process resume, frame transmission) at the end of the
-//! charges that produce it.
+//! queue and protocol configuration. The protocol logic itself lives in
+//! the [`crate::ipc`] module tree — one file per protocol concern — as
+//! `impl Ctx` blocks; this file keeps only the state plumbing every
+//! concern shares: processor charging, event scheduling and frame
+//! emission.
+//!
+//! Timing discipline: a handler runs at its trigger's pop time, charges
+//! processor costs as it goes, and schedules every externally visible
+//! effect (process resume, frame transmission) at the end of the charges
+//! that produce it.
 
 use v_net::{EtherType, Ethernet, Frame};
 use v_sim::{EventQueue, SimDuration, SimTime};
 
-use crate::aliens::{AlienState, SendVerdict};
-use crate::cluster::Pending;
 use crate::config::ProtocolConfig;
-use crate::error::KernelError;
-use crate::event::{Event, HostId, StreamKey, TimerKind};
-use crate::host::{Host, InFetch, InMove, OutMove, OutServe};
-use crate::message::Message;
-use crate::naming::Scope;
-use crate::pcb::ProcState;
+use crate::event::{Event, HostId, TimerKind};
+use crate::host::Host;
 use crate::pid::{LogicalHost, Pid};
 use crate::program::Outcome;
-use crate::segment::Access;
-use v_wire::packet::Body;
-use v_wire::{decode, encode, Packet, TransferStatus};
+use v_wire::{encode, Packet, PacketBody};
 
 /// Result of handing a frame to the interface.
 #[derive(Debug, Clone, Copy)]
@@ -46,19 +42,15 @@ pub(crate) struct Ctx<'a> {
     pub housekeeping_armed: &'a mut bool,
 }
 
-impl<'a> Ctx<'a> {
-    // ------------------------------------------------------------------
-    // Small helpers
-    // ------------------------------------------------------------------
-
+impl Ctx<'_> {
     /// Charges processor time starting no earlier than `t`; returns the
     /// completion instant.
-    fn charge(&mut self, t: SimTime, cost: SimDuration) -> SimTime {
+    pub(crate) fn charge(&mut self, t: SimTime, cost: SimDuration) -> SimTime {
         self.host.cpu.charge(t, cost).end
     }
 
     /// Schedules a process resume on this host.
-    fn resume_at(&mut self, at: SimTime, pid: Pid, outcome: Outcome) {
+    pub(crate) fn resume_at(&mut self, at: SimTime, pid: Pid, outcome: Outcome) {
         self.queue.schedule(
             at,
             Event::Resume {
@@ -70,7 +62,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Schedules a kernel timer on this host.
-    fn timer_at(&mut self, at: SimTime, kind: TimerKind) {
+    pub(crate) fn timer_at(&mut self, at: SimTime, kind: TimerKind) {
         self.queue.schedule(
             at,
             Event::Timer {
@@ -81,7 +73,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Arms the housekeeping sweep if it is not already pending.
-    fn arm_housekeeping(&mut self, t: SimTime) {
+    pub(crate) fn arm_housekeeping(&mut self, t: SimTime) {
         if !*self.housekeeping_armed {
             *self.housekeeping_armed = true;
             let at = t + self.proto.housekeeping;
@@ -91,13 +83,23 @@ impl<'a> Ctx<'a> {
 
     /// Encodes and transmits a packet to a logical host (or broadcast if
     /// the station is unknown in learned addressing mode).
-    fn emit_packet(&mut self, t: SimTime, pkt: &Packet, to_host: LogicalHost) -> Emitted {
+    pub(crate) fn emit_packet(
+        &mut self,
+        t: SimTime,
+        pkt: &Packet,
+        to_host: LogicalHost,
+    ) -> Emitted {
         self.emit_bytes(t, encode(pkt), to_host)
     }
 
     /// Transmits pre-encoded packet bytes (used for cached
     /// retransmissions).
-    fn emit_bytes(&mut self, t: SimTime, bytes: Vec<u8>, to_host: LogicalHost) -> Emitted {
+    pub(crate) fn emit_bytes(
+        &mut self,
+        t: SimTime,
+        bytes: Vec<u8>,
+        to_host: LogicalHost,
+    ) -> Emitted {
         let dst = match self.host.hostmap.resolve(to_host) {
             Some(mac) => mac,
             None => {
@@ -109,7 +111,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Broadcasts a packet (naming queries).
-    fn emit_broadcast(&mut self, t: SimTime, pkt: &Packet) -> Emitted {
+    pub(crate) fn emit_broadcast(&mut self, t: SimTime, pkt: &Packet) -> Emitted {
         self.emit_to_mac(t, encode(pkt), v_net::MacAddr::BROADCAST)
     }
 
@@ -154,1729 +156,9 @@ impl<'a> Ctx<'a> {
             seq,
             src_pid: dead.raw(),
             dst_pid: to.raw(),
-            body: Body::Nack,
+            body: PacketBody::Nack,
         };
         self.host.stats.nacks_sent += 1;
         self.emit_packet(t, &pkt, to.host());
-    }
-
-    // ------------------------------------------------------------------
-    // Blocking syscall execution
-    // ------------------------------------------------------------------
-
-    /// Executes the blocking call a program issued during its resume.
-    pub(crate) fn execute_blocking(&mut self, t: SimTime, pid: Pid, pending: Pending) {
-        match pending {
-            Pending::Send { msg, to } => self.do_send(t, pid, msg, to),
-            Pending::Receive => self.do_receive(t, pid, None),
-            Pending::ReceiveSeg { buf, size } => self.do_receive(t, pid, Some((buf, size))),
-            Pending::MoveTo {
-                dst,
-                dest,
-                src,
-                count,
-            } => self.do_move_to(t, pid, dst, dest, src, count),
-            Pending::MoveFrom {
-                src_pid,
-                dest,
-                src,
-                count,
-            } => self.do_move_from(t, pid, src_pid, dest, src, count),
-            Pending::GetPid { logical_id, scope } => self.do_get_pid(t, pid, logical_id, scope),
-            Pending::Delay(d) => {
-                let pcb = self.host.proc_mut(pid).expect("caller verified");
-                pcb.state = ProcState::Waiting;
-                self.resume_at(t + d, pid, Outcome::Delay);
-            }
-            Pending::Compute(d) => {
-                let pcb = self.host.proc_mut(pid).expect("caller verified");
-                pcb.state = ProcState::Waiting;
-                let end = self.charge(t, d);
-                self.resume_at(end, pid, Outcome::Compute);
-            }
-        }
-    }
-
-    fn do_send(&mut self, t: SimTime, pid: Pid, msg: Message, to: Pid) {
-        {
-            let pcb = self.host.proc_mut(pid).expect("sender exists");
-            pcb.out_msg = msg;
-        }
-        if to.is_local_to(self.host.logical) {
-            self.host.stats.sends_local += 1;
-            let send_cost = self.host.costs.send_local;
-            let end = self.charge(t, send_cost);
-            if self.host.proc(to).is_none() {
-                self.resume_at(
-                    end,
-                    pid,
-                    Outcome::Send(Err(KernelError::NonexistentProcess)),
-                );
-                return;
-            }
-            {
-                let pcb = self.host.proc_mut(pid).expect("sender exists");
-                pcb.state = ProcState::AwaitingReplyLocal { to };
-            }
-            let receiver = self.host.proc_mut(to).expect("checked above");
-            receiver.senders.push_back(pid);
-            if receiver.state.is_receiving() {
-                self.pump(end, to, true);
-            }
-        } else {
-            self.host.stats.sends_remote += 1;
-            let cost = self.host.costs.send_remote + self.host.costs.timer_admin;
-            let end = self.charge(t, cost);
-
-            // Gather the appended segment prefix, if read access was
-            // granted (§3.4's optimization: the first part of the segment
-            // rides in the Send packet).
-            let grant = msg.segment();
-            let (appended, appended_from) = match grant {
-                Some(g) if g.access.allows_read() && g.len > 0 => {
-                    let n = (g.len as usize)
-                        .min(self.proto.max_appended_segment)
-                        .min(self.proto.max_data_per_packet);
-                    let pcb = self.host.proc(pid).expect("sender exists");
-                    match pcb.space.read(g.start, n) {
-                        Ok(bytes) => (bytes.to_vec(), g.start),
-                        Err(e) => {
-                            self.fail_send(end, pid, e);
-                            return;
-                        }
-                    }
-                }
-                _ => (Vec::new(), 0),
-            };
-
-            let seq = {
-                let pcb = self.host.proc_mut(pid).expect("sender exists");
-                pcb.next_seq()
-            };
-            let pkt = Packet {
-                seq,
-                src_pid: pid.raw(),
-                dst_pid: to.raw(),
-                body: Body::Send {
-                    msg: *msg.as_bytes(),
-                    appended,
-                    appended_from,
-                },
-            };
-            let bytes = encode(&pkt);
-            {
-                let max_retries = self.proto.max_retries;
-                let pcb = self.host.proc_mut(pid).expect("sender exists");
-                pcb.state = ProcState::AwaitingReplyRemote {
-                    to,
-                    seq,
-                    retries_left: max_retries,
-                    packet: bytes.clone(),
-                    grant,
-                };
-            }
-            let emitted = self.emit_bytes(end, bytes, to.host());
-            // Blocking the sender and dispatching other work happens off
-            // the critical path, after the packet is on the wire.
-            let block = self.host.costs.block_admin;
-            self.charge(emitted.cpu_done, block);
-            let timeout = self.proto.retransmit_timeout;
-            self.timer_at(
-                emitted.cpu_done + timeout,
-                TimerKind::Retransmit { pid, seq },
-            );
-        }
-    }
-
-    fn fail_send(&mut self, t: SimTime, pid: Pid, err: KernelError) {
-        if let Some(pcb) = self.host.proc_mut(pid) {
-            pcb.state = ProcState::Ready;
-        }
-        self.resume_at(t, pid, Outcome::Send(Err(err)));
-    }
-
-    fn do_receive(&mut self, t: SimTime, pid: Pid, seg: Option<(u32, u32)>) {
-        let recv_cost = self.host.costs.receive_local;
-        let end = self.charge(t, recv_cost);
-        {
-            let pcb = self.host.proc_mut(pid).expect("receiver exists");
-            pcb.state = match seg {
-                None => ProcState::Receiving,
-                Some((buf, size)) => ProcState::ReceivingSeg { buf, size },
-            };
-        }
-        let has_queued = self
-            .host
-            .proc(pid)
-            .map(|p| !p.senders.is_empty())
-            .unwrap_or(false);
-        if has_queued {
-            self.pump(end, pid, false);
-        }
-    }
-
-    /// Delivers the head of `receiver`'s sender queue to it.
-    ///
-    /// `dispatch` is true when this delivery *wakes* the receiver (send
-    /// side), charging a context switch; false when the receiver found
-    /// the message already queued during `Receive`.
-    fn pump(&mut self, t: SimTime, receiver: Pid, dispatch: bool) {
-        loop {
-            let Some(pcb) = self.host.proc_mut(receiver) else {
-                return;
-            };
-            if !pcb.state.is_receiving() {
-                return;
-            }
-            let Some(sender) = pcb.senders.pop_front() else {
-                return;
-            };
-
-            // Gather message + segment source, skipping stale queue
-            // entries (dead senders, superseded aliens).
-            enum SegData {
-                None,
-                Local { start: u32, len: u32 },
-                Appended(Vec<u8>),
-            }
-            let (msg, seg) = if sender.is_local_to(self.host.logical) {
-                match self.host.proc(sender) {
-                    Some(sp) if matches!(sp.state, ProcState::AwaitingReplyLocal { to } if to == receiver) =>
-                    {
-                        let msg = sp.out_msg;
-                        let seg = match msg.segment() {
-                            Some(g) if g.access.allows_read() && g.len > 0 => SegData::Local {
-                                start: g.start,
-                                len: g.len,
-                            },
-                            _ => SegData::None,
-                        };
-                        (msg, seg)
-                    }
-                    _ => continue, // stale entry
-                }
-            } else {
-                match self.host.aliens.get(sender) {
-                    Some(a) if a.dst == receiver && a.state == AlienState::Queued => {
-                        let seg = if a.appended.is_empty() {
-                            SegData::None
-                        } else {
-                            SegData::Appended(a.appended.clone())
-                        };
-                        (a.msg, seg)
-                    }
-                    _ => continue, // stale entry
-                }
-            };
-
-            // Deliver into the receiver, honouring ReceiveWithSegment.
-            let (buf, size, wants_seg) = match &self.host.proc(receiver).expect("checked").state {
-                ProcState::ReceivingSeg { buf, size } => (*buf, *size, true),
-                _ => (0, 0, false),
-            };
-
-            let mut cost = SimDuration::ZERO;
-            if dispatch {
-                cost += self.host.costs.context_switch;
-            }
-            let mut seg_len: u32 = 0;
-            let mut seg_bytes: Option<(u32, Vec<u8>)> = None;
-            if wants_seg {
-                match seg {
-                    SegData::None => {}
-                    SegData::Local { start, len } => {
-                        let n = size.min(len);
-                        if n > 0 {
-                            let sp = self.host.proc(sender).expect("checked");
-                            if let Ok(data) = sp.space.read(start, n as usize) {
-                                cost += self.host.costs.segment_fixed
-                                    + self.host.costs.copy_mem(n as usize);
-                                seg_bytes = Some((buf, data.to_vec()));
-                                seg_len = n;
-                            }
-                        }
-                    }
-                    SegData::Appended(data) => {
-                        let n = (size as usize).min(data.len());
-                        if n > 0 {
-                            // Bytes came off the wire straight into their
-                            // final location: only fixed handling cost.
-                            cost += self.host.costs.segment_fixed;
-                            seg_bytes = Some((buf, data[..n].to_vec()));
-                            seg_len = n as u32;
-                        }
-                    }
-                }
-            }
-            let end = self.charge(t, cost);
-
-            if let Some((addr, data)) = seg_bytes {
-                let pcb = self.host.proc_mut(receiver).expect("checked");
-                if pcb.space.write(addr, &data).is_err() {
-                    seg_len = 0; // receiver's own buffer was bogus
-                }
-            }
-
-            // Mark the sender's exchange delivered.
-            if sender.is_local_to(self.host.logical) {
-                // Local sender stays AwaitingReplyLocal.
-            } else if let Some(a) = self.host.aliens.get_mut(sender) {
-                a.state = AlienState::Delivered;
-            }
-
-            let pcb = self.host.proc_mut(receiver).expect("checked");
-            pcb.state = ProcState::Ready;
-            let outcome = if wants_seg {
-                Outcome::ReceiveSeg {
-                    from: sender,
-                    msg,
-                    seg_len,
-                }
-            } else {
-                Outcome::Receive { from: sender, msg }
-            };
-            self.resume_at(end, receiver, outcome);
-            return;
-        }
-    }
-
-    /// `Reply` / `ReplyWithSegment` (non-blocking). Returns the caller's
-    /// new time cursor.
-    pub(crate) fn do_reply(
-        &mut self,
-        t: SimTime,
-        replier: Pid,
-        msg: Message,
-        to: Pid,
-        seg: Option<(u32, u32, u32)>, // (dest_ptr, src_addr, len)
-    ) -> Result<SimTime, KernelError> {
-        if to.is_local_to(self.host.logical) {
-            // Local reply.
-            let awaiting = matches!(
-                self.host.proc(to).map(|p| &p.state),
-                Some(ProcState::AwaitingReplyLocal { to: t2 }) if *t2 == replier
-            );
-            if !awaiting {
-                return Err(KernelError::NotAwaitingReply);
-            }
-            let mut cost = self.host.costs.reply_local + self.host.costs.context_switch;
-            let mut write: Option<(u32, Vec<u8>)> = None;
-            if let Some((dest_ptr, src_addr, len)) = seg {
-                let target = self.host.proc(to).expect("checked");
-                let grant = target
-                    .out_msg
-                    .segment()
-                    .ok_or(KernelError::NoSegmentAccess)?;
-                grant.check(dest_ptr, len, Access::Write)?;
-                let rp = self.host.proc(replier).expect("replier exists");
-                let data = rp.space.read(src_addr, len as usize)?.to_vec();
-                cost += self.host.costs.segment_fixed + self.host.costs.copy_mem(len as usize);
-                write = Some((dest_ptr, data));
-            }
-            let end = self.charge(t, cost);
-            if let Some((addr, data)) = write {
-                let target = self.host.proc_mut(to).expect("checked");
-                target.space.write(addr, &data)?;
-            }
-            let target = self.host.proc_mut(to).expect("checked");
-            target.state = ProcState::Ready;
-            self.resume_at(end, to, Outcome::Send(Ok(msg)));
-            Ok(end)
-        } else {
-            // Remote reply, through the alien.
-            let (seq, grant) = match self.host.aliens.get(to) {
-                Some(a) if a.dst == replier && a.state == AlienState::Delivered => {
-                    (a.seq, a.msg.segment())
-                }
-                _ => return Err(KernelError::NotAwaitingReply),
-            };
-            let mut cost = self.host.costs.reply_remote;
-            let (seg_dest, seg_data) = if let Some((dest_ptr, src_addr, len)) = seg {
-                if len as usize > self.proto.max_data_per_packet {
-                    return Err(KernelError::NoSegmentAccess);
-                }
-                let g = grant.ok_or(KernelError::NoSegmentAccess)?;
-                g.check(dest_ptr, len, Access::Write)?;
-                let rp = self.host.proc(replier).expect("replier exists");
-                let data = rp.space.read(src_addr, len as usize)?.to_vec();
-                cost += self.host.costs.segment_fixed;
-                (dest_ptr, data)
-            } else {
-                (0, Vec::new())
-            };
-            let end = self.charge(t, cost);
-            let pkt = Packet {
-                seq,
-                src_pid: replier.raw(),
-                dst_pid: to.raw(),
-                body: Body::Reply {
-                    msg: *msg.as_bytes(),
-                    seg_dest,
-                    seg: seg_data,
-                },
-            };
-            let bytes = encode(&pkt);
-            let emitted = self.emit_bytes(end, bytes.clone(), to.host());
-            if let Some(a) = self.host.aliens.get_mut(to) {
-                a.state = AlienState::Replied {
-                    packet: bytes,
-                    at: emitted.cpu_done,
-                };
-            }
-            let post = self.host.costs.alien_post;
-            self.charge(emitted.cpu_done, post);
-            self.arm_housekeeping(emitted.cpu_done);
-            Ok(emitted.cpu_done)
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Data transfer
-    // ------------------------------------------------------------------
-
-    fn do_move_to(&mut self, t: SimTime, mover: Pid, dst: Pid, dest: u32, src: u32, count: u32) {
-        if dst.is_local_to(self.host.logical) {
-            // Local fast path: one memory-to-memory copy.
-            let valid = matches!(
-                self.host.proc(dst).map(|p| &p.state),
-                Some(ProcState::AwaitingReplyLocal { to }) if *to == mover
-            );
-            if !valid {
-                let end = self.charge(t, self.host.costs.syscall_min);
-                self.fail_move(end, mover, KernelError::NotBlocked);
-                return;
-            }
-            let grant = self.host.proc(dst).expect("checked").out_msg.segment();
-            let res = grant
-                .ok_or(KernelError::NoSegmentAccess)
-                .and_then(|g| g.check(dest, count, Access::Write).map(|_| ()))
-                .and_then(|_| {
-                    let mp = self.host.proc(mover).expect("mover exists");
-                    mp.space.read(src, count as usize).map(|d| d.to_vec())
-                });
-            match res {
-                Err(e) => {
-                    let end = self.charge(t, self.host.costs.syscall_min);
-                    self.fail_move(end, mover, e);
-                }
-                Ok(data) => {
-                    let cost =
-                        self.host.costs.move_local_fixed + self.host.costs.copy_mem(count as usize);
-                    let end = self.charge(t, cost);
-                    let target = self.host.proc_mut(dst).expect("checked");
-                    if target.space.write(dest, &data).is_err() {
-                        self.fail_move(end, mover, KernelError::BadAddress);
-                        return;
-                    }
-                    self.resume_at(end, mover, Outcome::Move(Ok(count)));
-                }
-            }
-        } else {
-            // Remote: the destination must be an alien blocked on us.
-            let grant = match self.host.aliens.get(dst) {
-                Some(a) if a.dst == mover && a.state == AlienState::Delivered => a.msg.segment(),
-                _ => {
-                    let end = self.charge(t, self.host.costs.syscall_min);
-                    self.fail_move(end, mover, KernelError::NotBlocked);
-                    return;
-                }
-            };
-            let check = grant
-                .ok_or(KernelError::NoSegmentAccess)
-                .and_then(|g| g.check(dest, count, Access::Write))
-                .and_then(|_| {
-                    let mp = self.host.proc(mover).expect("mover exists");
-                    mp.space.read(src, count as usize).map(|_| ())
-                });
-            if let Err(e) = check {
-                let end = self.charge(t, self.host.costs.syscall_min);
-                self.fail_move(end, mover, e);
-                return;
-            }
-            let setup = self.host.costs.move_remote_setup;
-            let end = self.charge(t, setup);
-            let seq = {
-                let pcb = self.host.proc_mut(mover).expect("mover exists");
-                pcb.state = ProcState::Moving;
-                pcb.next_seq()
-            };
-            self.host.out_moves.insert(
-                mover.local(),
-                OutMove {
-                    seq,
-                    dest_pid: dst,
-                    dest_addr: dest,
-                    src_addr: src,
-                    total: count,
-                    next_off: 0,
-                    acked_base: 0,
-                    retries_left: self.proto.transfer_retries,
-                    awaiting_ack: false,
-                    marker: 0,
-                },
-            );
-            let marker = self.send_move_chunk(end, mover);
-            let timeout = self.proto.transfer_timeout;
-            self.timer_at(
-                end + timeout,
-                TimerKind::TransferStall {
-                    pid: mover,
-                    seq,
-                    marker,
-                },
-            );
-        }
-    }
-
-    fn fail_move(&mut self, t: SimTime, pid: Pid, err: KernelError) {
-        self.host.stats.transfer_failures += 1;
-        if let Some(pcb) = self.host.proc_mut(pid) {
-            pcb.state = ProcState::Ready;
-        }
-        self.host.out_moves.remove(&pid.local());
-        self.host.in_fetches.remove(&pid.local());
-        self.resume_at(t, pid, Outcome::Move(Err(err)));
-    }
-
-    /// Transmits the next `MoveTo` chunk; returns the stream's progress
-    /// marker.
-    fn send_move_chunk(&mut self, t: SimTime, mover: Pid) -> u32 {
-        let Some(om) = self.host.out_moves.get(&mover.local()) else {
-            return 0;
-        };
-        let off = om.next_off;
-        let n = (self.proto.max_data_per_packet as u32).min(om.total - off);
-        let last = off + n == om.total;
-        let (seq, dest_pid, dest_addr, src_addr) = (om.seq, om.dest_pid, om.dest_addr, om.src_addr);
-        let data = {
-            let mp = self.host.proc(mover).expect("mover exists");
-            mp.space
-                .read(src_addr + off, n as usize)
-                .expect("validated at setup")
-                .to_vec()
-        };
-        let pkt = Packet {
-            seq,
-            src_pid: mover.raw(),
-            dst_pid: dest_pid.raw(),
-            body: Body::MoveToData {
-                dest: dest_addr + off,
-                offset: off,
-                total: om.total,
-                last,
-                data,
-            },
-        };
-        let chunk_cost = self.host.costs.chunk_send;
-        let end = self.charge(t, chunk_cost);
-        let emitted = self.emit_packet(end, &pkt, dest_pid.host());
-        self.host.stats.chunks_sent += 1;
-        let om = self.host.out_moves.get_mut(&mover.local()).expect("exists");
-        om.next_off = off + n;
-        om.marker = om.marker.wrapping_add(1);
-        let marker = om.marker;
-        if last {
-            om.awaiting_ack = true;
-        } else {
-            self.queue.schedule(
-                emitted.tx_end,
-                Event::ChunkReady {
-                    host: self.host_id,
-                    key: StreamKey::Move {
-                        mover: mover.local(),
-                    },
-                },
-            );
-        }
-        marker
-    }
-
-    fn do_move_from(
-        &mut self,
-        t: SimTime,
-        requester: Pid,
-        src_pid: Pid,
-        dest: u32,
-        src: u32,
-        count: u32,
-    ) {
-        if src_pid.is_local_to(self.host.logical) {
-            // Local fast path.
-            let valid = matches!(
-                self.host.proc(src_pid).map(|p| &p.state),
-                Some(ProcState::AwaitingReplyLocal { to }) if *to == requester
-            );
-            if !valid {
-                let end = self.charge(t, self.host.costs.syscall_min);
-                self.fail_move(end, requester, KernelError::NotBlocked);
-                return;
-            }
-            let grant = self.host.proc(src_pid).expect("checked").out_msg.segment();
-            let res = grant
-                .ok_or(KernelError::NoSegmentAccess)
-                .and_then(|g| g.check(src, count, Access::Read))
-                .and_then(|_| {
-                    let sp = self.host.proc(src_pid).expect("checked");
-                    sp.space.read(src, count as usize).map(|d| d.to_vec())
-                });
-            match res {
-                Err(e) => {
-                    let end = self.charge(t, self.host.costs.syscall_min);
-                    self.fail_move(end, requester, e);
-                }
-                Ok(data) => {
-                    let cost =
-                        self.host.costs.move_local_fixed + self.host.costs.copy_mem(count as usize);
-                    let end = self.charge(t, cost);
-                    let rp = self.host.proc_mut(requester).expect("requester exists");
-                    if rp.space.write(dest, &data).is_err() {
-                        self.fail_move(end, requester, KernelError::BadAddress);
-                        return;
-                    }
-                    self.resume_at(end, requester, Outcome::Move(Ok(count)));
-                }
-            }
-        } else {
-            // Remote: ask the granting kernel to stream the segment back.
-            let grant = match self.host.aliens.get(src_pid) {
-                Some(a) if a.dst == requester && a.state == AlienState::Delivered => {
-                    a.msg.segment()
-                }
-                _ => {
-                    let end = self.charge(t, self.host.costs.syscall_min);
-                    self.fail_move(end, requester, KernelError::NotBlocked);
-                    return;
-                }
-            };
-            let check = grant
-                .ok_or(KernelError::NoSegmentAccess)
-                .and_then(|g| g.check(src, count, Access::Read))
-                .and_then(|_| {
-                    let rp = self.host.proc(requester).expect("requester exists");
-                    // Destination range must be writable in our space.
-                    rp.space.read(dest, count as usize).map(|_| ())
-                });
-            if let Err(e) = check {
-                let end = self.charge(t, self.host.costs.syscall_min);
-                self.fail_move(end, requester, e);
-                return;
-            }
-            let setup = self.host.costs.move_remote_setup;
-            let end = self.charge(t, setup);
-            let seq = {
-                let pcb = self.host.proc_mut(requester).expect("requester exists");
-                pcb.state = ProcState::Moving;
-                pcb.next_seq()
-            };
-            self.host.in_fetches.insert(
-                requester.local(),
-                InFetch {
-                    seq,
-                    src_pid,
-                    src_addr: src,
-                    dest_addr: dest,
-                    total: count,
-                    expected: 0,
-                    retries_left: self.proto.transfer_retries,
-                    marker: 0,
-                },
-            );
-            let pkt = Packet {
-                seq,
-                src_pid: requester.raw(),
-                dst_pid: src_pid.raw(),
-                body: Body::MoveFromReq {
-                    src,
-                    offset: 0,
-                    total: count,
-                },
-            };
-            let emitted = self.emit_packet(end, &pkt, src_pid.host());
-            let timeout = self.proto.transfer_timeout;
-            self.timer_at(
-                emitted.cpu_done + timeout,
-                TimerKind::TransferStall {
-                    pid: requester,
-                    seq,
-                    marker: 0,
-                },
-            );
-        }
-    }
-
-    /// Streams the next `MoveFrom` service chunk.
-    fn send_serve_chunk(&mut self, t: SimTime, key: (u32, u32)) {
-        let Some(serve) = self.host.out_serves.get(&key) else {
-            return;
-        };
-        let off = serve.next_off;
-        let n = (self.proto.max_data_per_packet as u32).min(serve.total - off);
-        let last = off + n == serve.total;
-        let (requester, seq, grantor, src_addr, total) = (
-            serve.requester,
-            serve.seq,
-            serve.grantor,
-            serve.src_addr,
-            serve.total,
-        );
-        let data = {
-            let gp = self.host.proc(grantor).expect("validated at request");
-            gp.space
-                .read(src_addr + off, n as usize)
-                .expect("validated at request")
-                .to_vec()
-        };
-        let pkt = Packet {
-            seq,
-            src_pid: grantor.raw(),
-            dst_pid: requester.raw(),
-            body: Body::MoveFromData {
-                offset: off,
-                total,
-                last,
-                data,
-            },
-        };
-        let chunk_cost = self.host.costs.chunk_send;
-        let end = self.charge(t, chunk_cost);
-        let emitted = self.emit_packet(end, &pkt, requester.host());
-        self.host.stats.chunks_sent += 1;
-        let serve = self.host.out_serves.get_mut(&key).expect("exists");
-        serve.next_off = off + n;
-        if last {
-            self.host.out_serves.remove(&key);
-        } else {
-            self.queue.schedule(
-                emitted.tx_end,
-                Event::ChunkReady {
-                    host: self.host_id,
-                    key: StreamKey::Serve {
-                        requester: key.0,
-                        seq: key.1,
-                    },
-                },
-            );
-        }
-    }
-
-    /// A stream's previous frame left the interface: send the next chunk.
-    pub(crate) fn handle_chunk_ready(&mut self, t: SimTime, key: StreamKey) {
-        match key {
-            StreamKey::Move { mover } => {
-                let Some(om) = self.host.out_moves.get(&mover) else {
-                    return;
-                };
-                if om.awaiting_ack {
-                    return;
-                }
-                let logical = self.host.logical;
-                self.send_move_chunk(t, Pid::new(logical, mover));
-            }
-            StreamKey::Serve { requester, seq } => {
-                self.send_serve_chunk(t, (requester, seq));
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Naming
-    // ------------------------------------------------------------------
-
-    fn do_get_pid(&mut self, t: SimTime, pid: Pid, logical_id: u32, scope: Scope) {
-        let cost = self.host.costs.name_op;
-        let end = self.charge(t, cost);
-        let local_hit = match scope {
-            Scope::Remote => None,
-            _ => self.host.names.lookup_local(logical_id),
-        };
-        if let Some(found) = local_hit {
-            self.resume_at(end, pid, Outcome::GetPid(Some(found)));
-            return;
-        }
-        if scope == Scope::Local {
-            self.resume_at(end, pid, Outcome::GetPid(None));
-            return;
-        }
-        // Broadcast resolution.
-        {
-            let retries = self.proto.getpid_retries;
-            let pcb = self.host.proc_mut(pid).expect("caller exists");
-            pcb.state = ProcState::AwaitingGetPid {
-                logical_id,
-                retries_left: retries,
-            };
-        }
-        self.host.stats.getpid_broadcasts += 1;
-        let pkt = Packet {
-            seq: 0,
-            src_pid: pid.raw(),
-            dst_pid: 0,
-            body: Body::GetPidReq { logical_id },
-        };
-        let emitted = self.emit_broadcast(end, &pkt);
-        let timeout = self.proto.getpid_timeout;
-        self.timer_at(
-            emitted.cpu_done + timeout,
-            TimerKind::GetPid { pid, logical_id },
-        );
-    }
-
-    pub(crate) fn getpid_timer(&mut self, t: SimTime, pid: Pid, logical_id: u32) {
-        let retries = match self.host.proc(pid).map(|p| &p.state) {
-            Some(ProcState::AwaitingGetPid {
-                logical_id: l,
-                retries_left,
-            }) if *l == logical_id => *retries_left,
-            _ => return,
-        };
-        if retries == 0 {
-            let pcb = self.host.proc_mut(pid).expect("checked");
-            pcb.state = ProcState::Ready;
-            self.resume_at(t, pid, Outcome::GetPid(None));
-            return;
-        }
-        {
-            let pcb = self.host.proc_mut(pid).expect("checked");
-            pcb.state = ProcState::AwaitingGetPid {
-                logical_id,
-                retries_left: retries - 1,
-            };
-        }
-        self.host.stats.getpid_broadcasts += 1;
-        let pkt = Packet {
-            seq: 0,
-            src_pid: pid.raw(),
-            dst_pid: 0,
-            body: Body::GetPidReq { logical_id },
-        };
-        let emitted = self.emit_broadcast(t, &pkt);
-        let timeout = self.proto.getpid_timeout;
-        self.timer_at(
-            emitted.cpu_done + timeout,
-            TimerKind::GetPid { pid, logical_id },
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Timers
-    // ------------------------------------------------------------------
-
-    pub(crate) fn retransmit_timer(&mut self, t: SimTime, pid: Pid, seq: u32) {
-        let (to, retries, packet) = match self.host.proc(pid).map(|p| &p.state) {
-            Some(ProcState::AwaitingReplyRemote {
-                to,
-                seq: s,
-                retries_left,
-                packet,
-                ..
-            }) if *s == seq => (*to, *retries_left, packet.clone()),
-            _ => return, // exchange completed; stale timer
-        };
-        if retries == 0 {
-            self.host.stats.send_timeouts += 1;
-            let pcb = self.host.proc_mut(pid).expect("checked");
-            pcb.state = ProcState::Ready;
-            self.resume_at(t, pid, Outcome::Send(Err(KernelError::Timeout)));
-            return;
-        }
-        if let Some(ProcState::AwaitingReplyRemote { retries_left, .. }) =
-            self.host.proc_mut(pid).map(|p| &mut p.state)
-        {
-            *retries_left = retries - 1;
-        }
-        self.host.stats.retransmissions += 1;
-        let emitted = self.emit_bytes(t, packet, to.host());
-        let timeout = self.proto.retransmit_timeout;
-        self.timer_at(
-            emitted.cpu_done + timeout,
-            TimerKind::Retransmit { pid, seq },
-        );
-    }
-
-    pub(crate) fn transfer_stall_timer(&mut self, t: SimTime, pid: Pid, seq: u32, marker: u32) {
-        let timeout = self.proto.transfer_timeout;
-        // MoveTo mover side.
-        if let Some(om) = self.host.out_moves.get(&pid.local()) {
-            if om.seq != seq {
-                return; // timer belongs to a finished transfer
-            }
-            if om.marker != marker {
-                // Progress since the timer was set; re-arm.
-                let m = om.marker;
-                self.timer_at(
-                    t + timeout,
-                    TimerKind::TransferStall {
-                        pid,
-                        seq,
-                        marker: m,
-                    },
-                );
-                return;
-            }
-            if om.retries_left == 0 {
-                self.fail_move(t, pid, KernelError::Timeout);
-                return;
-            }
-            let om = self.host.out_moves.get_mut(&pid.local()).expect("exists");
-            om.retries_left -= 1;
-            om.next_off = om.acked_base;
-            om.awaiting_ack = false;
-            self.host.stats.transfer_resumes += 1;
-            let marker = self.send_move_chunk(t, pid);
-            self.timer_at(t + timeout, TimerKind::TransferStall { pid, seq, marker });
-            return;
-        }
-        // MoveFrom requester side.
-        if let Some(f) = self.host.in_fetches.get(&pid.local()) {
-            if f.seq != seq {
-                return; // timer belongs to a finished transfer
-            }
-            if f.marker != marker {
-                let m = f.marker;
-                self.timer_at(
-                    t + timeout,
-                    TimerKind::TransferStall {
-                        pid,
-                        seq,
-                        marker: m,
-                    },
-                );
-                return;
-            }
-            if f.retries_left == 0 {
-                self.fail_move(t, pid, KernelError::Timeout);
-                return;
-            }
-            let (src_pid, src_addr, total, expected) = (f.src_pid, f.src_addr, f.total, f.expected);
-            let f = self.host.in_fetches.get_mut(&pid.local()).expect("exists");
-            f.retries_left -= 1;
-            f.marker = f.marker.wrapping_add(1);
-            let marker = f.marker;
-            self.host.stats.transfer_resumes += 1;
-            let pkt = Packet {
-                seq,
-                src_pid: pid.raw(),
-                dst_pid: src_pid.raw(),
-                body: Body::MoveFromReq {
-                    src: src_addr,
-                    offset: expected,
-                    total,
-                },
-            };
-            let emitted = self.emit_packet(t, &pkt, src_pid.host());
-            self.timer_at(
-                emitted.cpu_done + timeout,
-                TimerKind::TransferStall { pid, seq, marker },
-            );
-        }
-    }
-
-    pub(crate) fn housekeeping(&mut self, t: SimTime) {
-        let keep = self.proto.alien_keep;
-        self.host.aliens.sweep(t, keep);
-        self.host
-            .in_moves
-            .retain(|_, m| !(m.complete && t.since(m.last_seen) >= keep));
-        let busy = !self.host.aliens.is_empty()
-            || !self.host.in_moves.is_empty()
-            || !self.host.out_serves.is_empty();
-        if busy {
-            let at = t + self.proto.housekeeping;
-            self.timer_at(at, TimerKind::Housekeeping);
-        } else {
-            *self.housekeeping_armed = false;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Packet reception
-    // ------------------------------------------------------------------
-
-    /// A frame finished arriving at this host's interface.
-    pub(crate) fn handle_frame(&mut self, t: SimTime, frame: Frame) {
-        self.host.nic.note_rx(frame.payload.len());
-        if frame.ethertype != EtherType::INTERKERNEL {
-            self.dispatch_raw(t, frame);
-            return;
-        }
-        let encap = self.proto.encapsulation;
-        let cost = self.host.costs.rx_dispatch
-            + self.host.costs.frame_rx_cost(frame.payload.len())
-            + encap.extra_rx_cost();
-        let end = self.charge(t, cost);
-        let body = if encap.extra_bytes() > 0 {
-            if frame.payload.len() < encap.extra_bytes() {
-                self.host.stats.checksum_drops += 1;
-                self.host.nic.note_rx_bad();
-                return;
-            }
-            &frame.payload[encap.extra_bytes()..]
-        } else {
-            &frame.payload[..]
-        };
-        let pkt = match decode(body) {
-            Ok(p) => p,
-            Err(_) => {
-                self.host.stats.checksum_drops += 1;
-                self.host.nic.note_rx_bad();
-                return;
-            }
-        };
-        // Learn logical-host → station correspondences from traffic
-        // (10 Mb addressing mode).
-        if let Some(src) = Pid::from_raw(pkt.src_pid) {
-            self.host.hostmap.learn(src.host(), frame.src);
-        }
-        self.dispatch_packet(end, pkt);
-    }
-
-    fn dispatch_packet(&mut self, t: SimTime, pkt: Packet) {
-        let seq = pkt.seq;
-        let src = Pid::from_raw(pkt.src_pid);
-        let dst = Pid::from_raw(pkt.dst_pid);
-        match pkt.body {
-            Body::Send {
-                msg,
-                appended,
-                appended_from,
-            } => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_send_pkt(
-                    t,
-                    src,
-                    dst,
-                    seq,
-                    Message::from_bytes(msg),
-                    appended,
-                    appended_from,
-                );
-            }
-            Body::Reply { msg, seg_dest, seg } => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_reply_pkt(t, src, dst, seq, Message::from_bytes(msg), seg_dest, seg);
-            }
-            Body::ReplyPending => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_reply_pending(t, src, dst, seq);
-            }
-            Body::Nack => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_nack(t, src, dst, seq);
-            }
-            Body::MoveToData {
-                dest,
-                offset,
-                total,
-                last,
-                data,
-            } => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_moveto_data(t, src, dst, seq, dest, offset, total, last, data);
-            }
-            Body::MoveFromReq {
-                src: addr,
-                offset,
-                total,
-            } => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_movefrom_req(t, src, dst, seq, addr, offset, total);
-            }
-            Body::MoveFromData {
-                offset,
-                total,
-                last,
-                data,
-            } => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_movefrom_data(t, src, dst, seq, offset, total, last, data);
-            }
-            Body::TransferAck { received, status } => {
-                let (Some(src), Some(dst)) = (src, dst) else {
-                    return;
-                };
-                self.handle_transfer_ack(t, src, dst, seq, received, status);
-            }
-            Body::GetPidReq { logical_id } => {
-                let Some(src) = src else { return };
-                self.handle_getpid_req(t, src, logical_id);
-            }
-            Body::GetPidReply { logical_id, pid } => {
-                let Some(dst) = dst else { return };
-                self.handle_getpid_reply(t, dst, logical_id, pid);
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_send_pkt(
-        &mut self,
-        t: SimTime,
-        src: Pid,
-        dst: Pid,
-        seq: u32,
-        msg: Message,
-        appended: Vec<u8>,
-        appended_from: u32,
-    ) {
-        if !dst.is_local_to(self.host.logical) {
-            return; // stray broadcast-fallback delivery; not ours
-        }
-        // Duplicate filtering comes *before* the existence check: a
-        // retransmission of an exchange that already completed must be
-        // answered from the alien's cached reply even if the replier has
-        // since exited (the sender's reply was lost, not the exchange).
-        if let Some(alien) = self.host.aliens.get(src) {
-            if alien.seq == seq {
-                match &alien.state {
-                    AlienState::Replied { packet, .. } => {
-                        let packet = packet.clone();
-                        self.host.stats.duplicates_filtered += 1;
-                        self.host.stats.replies_retransmitted += 1;
-                        self.emit_bytes(t, packet, src.host());
-                    }
-                    _ => {
-                        self.host.stats.duplicates_filtered += 1;
-                        self.host.stats.reply_pending_sent += 1;
-                        let pkt = Packet {
-                            seq,
-                            src_pid: dst.raw(),
-                            dst_pid: src.raw(),
-                            body: Body::ReplyPending,
-                        };
-                        self.emit_packet(t, &pkt, src.host());
-                    }
-                }
-                return;
-            }
-        }
-        if self.host.proc(dst).is_none() {
-            self.send_nack(t, src, seq, dst);
-            return;
-        }
-        // Is there an existing queued entry for this source? (Avoid
-        // double-queueing when a superseding exchange replaces an alien
-        // still sitting in the receiver's queue.)
-        let already_queued = matches!(
-            self.host.aliens.get(src),
-            Some(a) if a.state == AlienState::Queued
-        );
-        match self
-            .host
-            .aliens
-            .admit(src, seq, dst, msg, appended, appended_from)
-        {
-            SendVerdict::Deliver => {
-                self.host.stats.aliens_allocated += 1;
-                let alloc = self.host.costs.alien_alloc + self.host.costs.unblock;
-                let end = self.charge(t, alloc);
-                self.arm_housekeeping(end);
-                if !already_queued {
-                    let pcb = self.host.proc_mut(dst).expect("checked");
-                    pcb.senders.push_back(src);
-                }
-                let receiving = self
-                    .host
-                    .proc(dst)
-                    .map(|p| p.state.is_receiving())
-                    .unwrap_or(false);
-                if receiving {
-                    self.pump(end, dst, true);
-                }
-            }
-            SendVerdict::RetransmitReply(packet) => {
-                self.host.stats.duplicates_filtered += 1;
-                self.host.stats.replies_retransmitted += 1;
-                self.emit_bytes(t, packet, src.host());
-            }
-            SendVerdict::ReplyPending => {
-                // Either a duplicate whose reply is still pending, or the
-                // alien pool is exhausted.
-                if matches!(self.host.aliens.get(src), Some(a) if a.seq == seq) {
-                    self.host.stats.duplicates_filtered += 1;
-                } else {
-                    self.host.stats.aliens_exhausted += 1;
-                }
-                self.host.stats.reply_pending_sent += 1;
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src.raw(),
-                    body: Body::ReplyPending,
-                };
-                self.emit_packet(t, &pkt, src.host());
-            }
-            SendVerdict::Drop => {
-                self.host.stats.duplicates_filtered += 1;
-            }
-        }
-    }
-
-    // Parameters mirror the fields of a wire `Body::Reply` one-for-one.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_reply_pkt(
-        &mut self,
-        t: SimTime,
-        src: Pid,
-        dst: Pid,
-        seq: u32,
-        msg: Message,
-        seg_dest: u32,
-        seg: Vec<u8>,
-    ) {
-        let grant = match self.host.proc(dst).map(|p| &p.state) {
-            Some(ProcState::AwaitingReplyRemote {
-                to, seq: s, grant, ..
-            }) if *to == src && *s == seq => *grant,
-            _ => return, // duplicate or stale reply
-        };
-        let mut cost =
-            self.host.costs.reply_match + self.host.costs.unblock + self.host.costs.context_switch;
-        let mut seg_err = None;
-        if !seg.is_empty() {
-            cost += self.host.costs.segment_fixed;
-            let ok = grant
-                .ok_or(KernelError::NoSegmentAccess)
-                .and_then(|g| g.check(seg_dest, seg.len() as u32, Access::Write));
-            match ok {
-                Ok(()) => {
-                    let pcb = self.host.proc_mut(dst).expect("checked");
-                    if pcb.space.write(seg_dest, &seg).is_err() {
-                        seg_err = Some(KernelError::BadAddress);
-                    }
-                }
-                Err(e) => seg_err = Some(e),
-            }
-        }
-        let end = self.charge(t, cost);
-        let pcb = self.host.proc_mut(dst).expect("checked");
-        pcb.state = ProcState::Ready;
-        let outcome = match seg_err {
-            None => Outcome::Send(Ok(msg)),
-            Some(e) => Outcome::Send(Err(e)),
-        };
-        self.resume_at(end, dst, outcome);
-    }
-
-    fn handle_reply_pending(&mut self, _t: SimTime, src: Pid, dst: Pid, seq: u32) {
-        let max = self.proto.max_retries;
-        if let Some(ProcState::AwaitingReplyRemote {
-            to,
-            seq: s,
-            retries_left,
-            ..
-        }) = self.host.proc_mut(dst).map(|p| &mut p.state)
-        {
-            if *to == src && *s == seq {
-                *retries_left = max;
-                self.host.stats.reply_pending_received += 1;
-            }
-        }
-    }
-
-    fn handle_nack(&mut self, t: SimTime, src: Pid, dst: Pid, seq: u32) {
-        let matches = matches!(
-            self.host.proc(dst).map(|p| &p.state),
-            Some(ProcState::AwaitingReplyRemote { to, seq: s, .. }) if *to == src && *s == seq
-        );
-        if matches {
-            self.host.stats.nacks_received += 1;
-            self.fail_send(t, dst, KernelError::NonexistentProcess);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_moveto_data(
-        &mut self,
-        t: SimTime,
-        src: Pid,
-        dst: Pid,
-        seq: u32,
-        dest: u32,
-        offset: u32,
-        total: u32,
-        last: bool,
-        data: Vec<u8>,
-    ) {
-        let key = (src.raw(), seq);
-        if let Some(m) = self.host.in_moves.get_mut(&key) {
-            if m.complete {
-                // Duplicate after completion: re-acknowledge.
-                m.last_seen = t;
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src.raw(),
-                    body: Body::TransferAck {
-                        received: total,
-                        status: TransferStatus::Complete,
-                    },
-                };
-                self.emit_packet(t, &pkt, src.host());
-                return;
-            }
-        } else {
-            // First chunk of a new inbound transfer: validate the grant.
-            let grant = match self.host.proc(dst).map(|p| &p.state) {
-                Some(ProcState::AwaitingReplyRemote { to, grant, .. }) if *to == src => *grant,
-                _ => {
-                    let pkt = Packet {
-                        seq,
-                        src_pid: dst.raw(),
-                        dst_pid: src.raw(),
-                        body: Body::TransferAck {
-                            received: 0,
-                            status: TransferStatus::Unknown,
-                        },
-                    };
-                    self.emit_packet(t, &pkt, src.host());
-                    return;
-                }
-            };
-            // The whole transfer's range is implied by (dest - offset,
-            // total); validate this chunk now and later chunks as they
-            // arrive.
-            if grant.is_none() {
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src.raw(),
-                    body: Body::TransferAck {
-                        received: 0,
-                        status: TransferStatus::AccessViolation,
-                    },
-                };
-                self.emit_packet(t, &pkt, src.host());
-                return;
-            }
-            self.host.in_moves.insert(
-                key,
-                InMove {
-                    dest_pid: dst,
-                    expected: 0,
-                    total,
-                    complete: false,
-                    last_seen: t,
-                },
-            );
-            self.arm_housekeeping(t);
-        }
-
-        let expected = self.host.in_moves.get(&key).expect("just ensured").expected;
-        let chunk_cost = self.host.costs.chunk_recv;
-        let end = self.charge(t, chunk_cost);
-
-        if offset != expected {
-            self.host.stats.chunks_dropped += 1;
-            if last {
-                // Gap detected at the end: ask for resumption from the
-                // last in-order byte.
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src.raw(),
-                    body: Body::TransferAck {
-                        received: expected,
-                        status: TransferStatus::Partial,
-                    },
-                };
-                self.emit_packet(end, &pkt, src.host());
-            }
-            return;
-        }
-
-        // In-order chunk: validate against the grant and deposit.
-        let grant = match self.host.proc(dst).map(|p| &p.state) {
-            Some(ProcState::AwaitingReplyRemote { grant: Some(g), .. }) => *g,
-            _ => {
-                self.host.in_moves.remove(&key);
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src.raw(),
-                    body: Body::TransferAck {
-                        received: 0,
-                        status: TransferStatus::Unknown,
-                    },
-                };
-                self.emit_packet(end, &pkt, src.host());
-                return;
-            }
-        };
-        let n = data.len() as u32;
-        let ok = grant.check(dest, n, Access::Write).and_then(|_| {
-            let pcb = self.host.proc_mut(dst).expect("checked");
-            pcb.space.write(dest, &data)
-        });
-        if ok.is_err() {
-            self.host.in_moves.remove(&key);
-            let pkt = Packet {
-                seq,
-                src_pid: dst.raw(),
-                dst_pid: src.raw(),
-                body: Body::TransferAck {
-                    received: 0,
-                    status: TransferStatus::AccessViolation,
-                },
-            };
-            self.emit_packet(end, &pkt, src.host());
-            return;
-        }
-        self.host.stats.chunks_received += 1;
-        let m = self.host.in_moves.get_mut(&key).expect("exists");
-        m.expected += n;
-        m.last_seen = end;
-        let complete = last && m.expected == m.total;
-        let received = m.expected;
-        if last {
-            if complete {
-                m.complete = true;
-            }
-            let status = if complete {
-                TransferStatus::Complete
-            } else {
-                TransferStatus::Partial
-            };
-            let ack_cost = self.host.costs.ack_process;
-            let end2 = self.charge(end, ack_cost);
-            let pkt = Packet {
-                seq,
-                src_pid: dst.raw(),
-                dst_pid: src.raw(),
-                body: Body::TransferAck {
-                    received: if complete { total } else { received },
-                    status,
-                },
-            };
-            self.emit_packet(end2, &pkt, src.host());
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_movefrom_req(
-        &mut self,
-        t: SimTime,
-        src: Pid,
-        dst: Pid,
-        seq: u32,
-        addr: u32,
-        offset: u32,
-        total: u32,
-    ) {
-        // `dst` is the local granting process; `src` the remote requester.
-        let grant = match self.host.proc(dst).map(|p| &p.state) {
-            Some(ProcState::AwaitingReplyRemote { to, grant, .. }) if *to == src => *grant,
-            _ => {
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src.raw(),
-                    body: Body::TransferAck {
-                        received: 0,
-                        status: TransferStatus::Unknown,
-                    },
-                };
-                self.emit_packet(t, &pkt, src.host());
-                return;
-            }
-        };
-        let ok = grant
-            .ok_or(KernelError::NoSegmentAccess)
-            .and_then(|g| g.check(addr, total, Access::Read))
-            .and_then(|_| {
-                let pcb = self.host.proc(dst).expect("checked");
-                pcb.space.read(addr, total as usize).map(|_| ())
-            });
-        if ok.is_err() {
-            let pkt = Packet {
-                seq,
-                src_pid: dst.raw(),
-                dst_pid: src.raw(),
-                body: Body::TransferAck {
-                    received: 0,
-                    status: TransferStatus::AccessViolation,
-                },
-            };
-            self.emit_packet(t, &pkt, src.host());
-            return;
-        }
-        let setup = self.host.costs.move_remote_setup;
-        let end = self.charge(t, setup);
-        let key = (src.raw(), seq);
-        self.host.out_serves.insert(
-            key,
-            OutServe {
-                requester: src,
-                seq,
-                grantor: dst,
-                src_addr: addr,
-                next_off: offset,
-                total,
-            },
-        );
-        self.arm_housekeeping(end);
-        self.send_serve_chunk(end, key);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_movefrom_data(
-        &mut self,
-        t: SimTime,
-        src: Pid,
-        dst: Pid,
-        seq: u32,
-        offset: u32,
-        _total: u32,
-        last: bool,
-        data: Vec<u8>,
-    ) {
-        let uid = dst.local();
-        let Some(f) = self.host.in_fetches.get(&uid) else {
-            return; // transfer already completed or failed
-        };
-        if f.src_pid != src || f.seq != seq {
-            return;
-        }
-        let expected = f.expected;
-        let chunk_cost = self.host.costs.chunk_recv;
-        let end = self.charge(t, chunk_cost);
-
-        if offset != expected {
-            self.host.stats.chunks_dropped += 1;
-            if last {
-                // Ask the source to resume from the last in-order byte.
-                self.host.stats.transfer_resumes += 1;
-                let f = self.host.in_fetches.get_mut(&uid).expect("exists");
-                f.marker = f.marker.wrapping_add(1);
-                let (seq, src_pid, src_addr, total_rem) = (f.seq, f.src_pid, f.src_addr, f.total);
-                let pkt = Packet {
-                    seq,
-                    src_pid: dst.raw(),
-                    dst_pid: src_pid.raw(),
-                    body: Body::MoveFromReq {
-                        src: src_addr,
-                        offset: expected,
-                        total: total_rem,
-                    },
-                };
-                self.emit_packet(end, &pkt, src_pid.host());
-            }
-            return;
-        }
-
-        let n = data.len() as u32;
-        let dest = {
-            let f = self.host.in_fetches.get(&uid).expect("exists");
-            f.dest_addr + offset
-        };
-        {
-            let pcb = self.host.proc_mut(dst).expect("requester exists");
-            if pcb.space.write(dest, &data).is_err() {
-                self.fail_move(end, dst, KernelError::BadAddress);
-                return;
-            }
-        }
-        self.host.stats.chunks_received += 1;
-        let f = self.host.in_fetches.get_mut(&uid).expect("exists");
-        f.expected += n;
-        f.marker = f.marker.wrapping_add(1);
-        let done = last && f.expected == f.total;
-        let total = f.total;
-        if done {
-            self.host.in_fetches.remove(&uid);
-            let cost = self.host.costs.ack_process
-                + self.host.costs.unblock
-                + self.host.costs.context_switch;
-            let end2 = self.charge(end, cost);
-            let pcb = self.host.proc_mut(dst).expect("requester exists");
-            pcb.state = ProcState::Ready;
-            self.resume_at(end2, dst, Outcome::Move(Ok(total)));
-        } else if last {
-            // Final chunk arrived but earlier ones are missing — covered
-            // by the out-of-order branch above, so nothing to do here.
-        }
-    }
-
-    fn handle_transfer_ack(
-        &mut self,
-        t: SimTime,
-        src: Pid,
-        dst: Pid,
-        seq: u32,
-        received: u32,
-        status: TransferStatus,
-    ) {
-        // MoveTo mover side?
-        if let Some(om) = self.host.out_moves.get(&dst.local()) {
-            if om.seq != seq || om.dest_pid != src {
-                return;
-            }
-            match status {
-                TransferStatus::Complete => {
-                    let total = om.total;
-                    self.host.out_moves.remove(&dst.local());
-                    let cost = self.host.costs.ack_process
-                        + self.host.costs.unblock
-                        + self.host.costs.context_switch;
-                    let end = self.charge(t, cost);
-                    let pcb = self.host.proc_mut(dst).expect("mover exists");
-                    pcb.state = ProcState::Ready;
-                    self.resume_at(end, dst, Outcome::Move(Ok(total)));
-                }
-                TransferStatus::Partial => {
-                    let om = self.host.out_moves.get_mut(&dst.local()).expect("exists");
-                    om.acked_base = received;
-                    om.next_off = received;
-                    om.awaiting_ack = false;
-                    om.marker = om.marker.wrapping_add(1);
-                    self.host.stats.transfer_resumes += 1;
-                    let end = self.charge(t, self.host.costs.ack_process);
-                    self.send_move_chunk(end, dst);
-                }
-                TransferStatus::AccessViolation | TransferStatus::Unknown => {
-                    self.fail_move(t, dst, KernelError::TransferRejected);
-                }
-            }
-            return;
-        }
-        // MoveFrom requester side: acks only carry rejections.
-        if let Some(f) = self.host.in_fetches.get(&dst.local()) {
-            if f.seq != seq || f.src_pid != src {
-                return;
-            }
-            match status {
-                TransferStatus::AccessViolation | TransferStatus::Unknown => {
-                    self.fail_move(t, dst, KernelError::TransferRejected);
-                }
-                _ => {}
-            }
-        }
-    }
-
-    fn handle_getpid_req(&mut self, t: SimTime, src: Pid, logical_id: u32) {
-        let Some(found) = self.host.names.lookup_remote(logical_id) else {
-            return;
-        };
-        self.host.stats.getpid_answers += 1;
-        let cost = self.host.costs.name_op;
-        let end = self.charge(t, cost);
-        let pkt = Packet {
-            seq: 0,
-            src_pid: found.raw(), // advertised pid also teaches the hostmap
-            dst_pid: src.raw(),
-            body: Body::GetPidReply {
-                logical_id,
-                pid: found.raw(),
-            },
-        };
-        self.emit_packet(end, &pkt, src.host());
-    }
-
-    fn handle_getpid_reply(&mut self, t: SimTime, dst: Pid, logical_id: u32, pid_raw: u32) {
-        let matches = matches!(
-            self.host.proc(dst).map(|p| &p.state),
-            Some(ProcState::AwaitingGetPid { logical_id: l, .. }) if *l == logical_id
-        );
-        if !matches {
-            return; // already resolved by an earlier answer
-        }
-        let cost =
-            self.host.costs.name_op + self.host.costs.unblock + self.host.costs.context_switch;
-        let end = self.charge(t, cost);
-        let pcb = self.host.proc_mut(dst).expect("checked");
-        pcb.state = ProcState::Ready;
-        self.resume_at(end, dst, Outcome::GetPid(Pid::from_raw(pid_raw)));
-    }
-
-    // ------------------------------------------------------------------
-    // Raw protocol handlers
-    // ------------------------------------------------------------------
-
-    fn dispatch_raw(&mut self, t: SimTime, frame: Frame) {
-        let cost = self.host.costs.frame_rx_cost(frame.payload.len());
-        let end = self.charge(t, cost);
-        let ety = frame.ethertype.0;
-        let Some(mut handler) = self.host.raw.remove(&ety) else {
-            return; // no handler registered; frame dropped
-        };
-        {
-            let mut raw = RawCtxImpl::new(self, end, EtherType(ety));
-            handler.on_frame(&mut raw, &frame);
-        }
-        self.host.raw.insert(ety, handler);
-    }
-}
-
-/// [`crate::raw::RawCtx`] implementation over a kernel context.
-pub(crate) struct RawCtxImpl<'c, 'a> {
-    ctx: &'c mut Ctx<'a>,
-    now: SimTime,
-    ethertype: EtherType,
-}
-
-impl<'c, 'a> RawCtxImpl<'c, 'a> {
-    pub(crate) fn new(ctx: &'c mut Ctx<'a>, now: SimTime, ethertype: EtherType) -> Self {
-        RawCtxImpl {
-            ctx,
-            now,
-            ethertype,
-        }
-    }
-}
-
-impl crate::raw::RawCtx for RawCtxImpl<'_, '_> {
-    fn now(&self) -> SimTime {
-        self.now
-    }
-
-    fn mac(&self) -> v_net::MacAddr {
-        self.ctx.host.nic.mac()
-    }
-
-    fn send_frame(&mut self, dst: v_net::MacAddr, payload: Vec<u8>) {
-        let wire_len = payload.len();
-        let ready = self.ctx.host.nic.tx_ready_after(self.now);
-        let cost = self.ctx.host.costs.frame_tx_cost(wire_len);
-        let span = self.ctx.host.cpu.charge(ready, cost);
-        let frame = Frame::new(dst, self.ctx.host.nic.mac(), self.ethertype, payload);
-        let tx = self.ctx.net.transmit(span.end, frame);
-        self.ctx.host.nic.note_tx(tx.tx_end, wire_len);
-        for d in &tx.deliveries {
-            let host = HostId((d.dst.0 - 1) as usize);
-            self.ctx.queue.schedule(
-                d.at,
-                Event::Frame {
-                    host,
-                    frame: d.frame.clone(),
-                },
-            );
-        }
-        self.now = span.end;
-    }
-
-    fn charge(&mut self, cost: SimDuration) {
-        self.now = self.ctx.host.cpu.charge(self.now, cost).end;
-    }
-
-    fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        let kind = TimerKind::Raw {
-            ethertype: self.ethertype.0,
-            token,
-        };
-        let at = self.now + delay;
-        self.ctx.timer_at(at, kind);
     }
 }

@@ -1,0 +1,247 @@
+//! The dispatch boundary: syscalls in, frames in.
+//!
+//! Inbound frames are decoded exactly once — raw payload bytes become a
+//! typed [`v_wire::PacketBody`] here, and every protocol handler beyond
+//! this point consumes a body struct. Undecodable frames are counted
+//! (corruption vs. unknown kind) and dropped; the protocols above never
+//! see them. Frames with a foreign ethertype fan out to the registered
+//! raw-protocol handlers.
+
+use v_net::{EtherType, Frame};
+use v_sim::{SimDuration, SimTime};
+
+use crate::cluster::Pending;
+use crate::ctx::Ctx;
+use crate::event::{Event, HostId, TimerKind};
+use crate::pcb::ProcState;
+use crate::pid::Pid;
+use crate::program::Outcome;
+use v_wire::{decode, Packet, PacketBody, WireError};
+
+impl Ctx<'_> {
+    // ------------------------------------------------------------------
+    // Blocking syscall execution
+    // ------------------------------------------------------------------
+
+    /// Executes the blocking call a program issued during its resume.
+    pub(crate) fn execute_blocking(&mut self, t: SimTime, pid: Pid, pending: Pending) {
+        match pending {
+            Pending::Send { msg, to } => self.do_send(t, pid, msg, to),
+            Pending::Receive => self.do_receive(t, pid, None),
+            Pending::ReceiveSeg { buf, size } => self.do_receive(t, pid, Some((buf, size))),
+            Pending::MoveTo {
+                dst,
+                dest,
+                src,
+                count,
+            } => self.do_move_to(t, pid, dst, dest, src, count),
+            Pending::MoveFrom {
+                src_pid,
+                dest,
+                src,
+                count,
+            } => self.do_move_from(t, pid, src_pid, dest, src, count),
+            Pending::GetPid { logical_id, scope } => self.do_get_pid(t, pid, logical_id, scope),
+            Pending::Delay(d) => {
+                let pcb = self.host.proc_mut(pid).expect("caller verified");
+                pcb.state = ProcState::Waiting;
+                self.resume_at(t + d, pid, Outcome::Delay);
+            }
+            Pending::Compute(d) => {
+                let pcb = self.host.proc_mut(pid).expect("caller verified");
+                pcb.state = ProcState::Waiting;
+                let end = self.charge(t, d);
+                self.resume_at(end, pid, Outcome::Compute);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet reception
+    // ------------------------------------------------------------------
+
+    /// A frame finished arriving at this host's interface.
+    pub(crate) fn handle_frame(&mut self, t: SimTime, frame: Frame) {
+        self.host.nic.note_rx(frame.payload.len());
+        if frame.ethertype != EtherType::INTERKERNEL {
+            self.dispatch_raw(t, frame);
+            return;
+        }
+        let encap = self.proto.encapsulation;
+        let cost = self.host.costs.rx_dispatch
+            + self.host.costs.frame_rx_cost(frame.payload.len())
+            + encap.extra_rx_cost();
+        let end = self.charge(t, cost);
+        let Some(body) = frame.payload_after(encap.extra_bytes()) else {
+            self.host.stats.checksum_drops += 1;
+            self.host.nic.note_rx_bad();
+            return;
+        };
+        let pkt = match decode(body) {
+            Ok(p) => p,
+            Err(WireError::UnknownKind(_)) => {
+                // The checksum held, so the frame arrived intact — the
+                // sender just speaks a newer (or broken) protocol rev.
+                self.host.stats.unknown_kind_drops += 1;
+                self.host.nic.note_rx_bad();
+                return;
+            }
+            Err(_) => {
+                self.host.stats.checksum_drops += 1;
+                self.host.nic.note_rx_bad();
+                return;
+            }
+        };
+        // Learn logical-host → station correspondences from traffic
+        // (10 Mb addressing mode).
+        if let Some(src) = Pid::from_raw(pkt.src_pid) {
+            self.host.hostmap.learn(src.host(), frame.src);
+        }
+        self.dispatch_packet(end, pkt);
+    }
+
+    /// Routes a decoded packet to its protocol handler. Bodies are
+    /// already typed; this only resolves the pid words and fans out.
+    fn dispatch_packet(&mut self, t: SimTime, pkt: Packet) {
+        let seq = pkt.seq;
+        let src = Pid::from_raw(pkt.src_pid);
+        let dst = Pid::from_raw(pkt.dst_pid);
+        match pkt.body {
+            PacketBody::Send(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_send_pkt(t, src, dst, seq, body);
+            }
+            PacketBody::Reply(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_reply_pkt(t, src, dst, seq, body);
+            }
+            PacketBody::ReplyPending => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_reply_pending(t, src, dst, seq);
+            }
+            PacketBody::Nack => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_nack(t, src, dst, seq);
+            }
+            PacketBody::MoveToData(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_moveto_data(t, src, dst, seq, body);
+            }
+            PacketBody::MoveFromReq(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_movefrom_req(t, src, dst, seq, body);
+            }
+            PacketBody::MoveFromData(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_movefrom_data(t, src, dst, seq, body);
+            }
+            PacketBody::TransferAck(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_transfer_ack(t, src, dst, seq, body);
+            }
+            PacketBody::GetPidReq(body) => {
+                let Some(src) = src else { return };
+                self.handle_getpid_req(t, src, body);
+            }
+            PacketBody::GetPidReply(body) => {
+                let Some(dst) = dst else { return };
+                self.handle_getpid_reply(t, dst, body);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw protocol handlers
+    // ------------------------------------------------------------------
+
+    fn dispatch_raw(&mut self, t: SimTime, frame: Frame) {
+        let cost = self.host.costs.frame_rx_cost(frame.payload.len());
+        let end = self.charge(t, cost);
+        let ety = frame.ethertype.0;
+        let Some(mut handler) = self.host.raw.remove(&ety) else {
+            return; // no handler registered; frame dropped
+        };
+        {
+            let mut raw = RawCtxImpl::new(self, end, EtherType(ety));
+            handler.on_frame(&mut raw, &frame);
+        }
+        self.host.raw.insert(ety, handler);
+    }
+}
+
+/// [`crate::raw::RawCtx`] implementation over a kernel context.
+pub(crate) struct RawCtxImpl<'c, 'a> {
+    ctx: &'c mut Ctx<'a>,
+    now: SimTime,
+    ethertype: EtherType,
+}
+
+impl<'c, 'a> RawCtxImpl<'c, 'a> {
+    pub(crate) fn new(ctx: &'c mut Ctx<'a>, now: SimTime, ethertype: EtherType) -> Self {
+        RawCtxImpl {
+            ctx,
+            now,
+            ethertype,
+        }
+    }
+}
+
+impl crate::raw::RawCtx for RawCtxImpl<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn mac(&self) -> v_net::MacAddr {
+        self.ctx.host.nic.mac()
+    }
+
+    fn send_frame(&mut self, dst: v_net::MacAddr, payload: Vec<u8>) {
+        let wire_len = payload.len();
+        let ready = self.ctx.host.nic.tx_ready_after(self.now);
+        let cost = self.ctx.host.costs.frame_tx_cost(wire_len);
+        let span = self.ctx.host.cpu.charge(ready, cost);
+        let frame = Frame::new(dst, self.ctx.host.nic.mac(), self.ethertype, payload);
+        let tx = self.ctx.net.transmit(span.end, frame);
+        self.ctx.host.nic.note_tx(tx.tx_end, wire_len);
+        for d in &tx.deliveries {
+            let host = HostId((d.dst.0 - 1) as usize);
+            self.ctx.queue.schedule(
+                d.at,
+                Event::Frame {
+                    host,
+                    frame: d.frame.clone(),
+                },
+            );
+        }
+        self.now = span.end;
+    }
+
+    fn charge(&mut self, cost: SimDuration) {
+        self.now = self.ctx.host.cpu.charge(self.now, cost).end;
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let kind = TimerKind::Raw {
+            ethertype: self.ethertype.0,
+            token,
+        };
+        let at = self.now + delay;
+        self.ctx.timer_at(at, kind);
+    }
+}

@@ -1,0 +1,24 @@
+//! The layered IPC engine.
+//!
+//! Every kernel protocol concern lives in its own module, all as
+//! `impl` blocks on the shared [`crate::ctx::Ctx`] split borrow:
+//!
+//! * [`dispatch`] — the receive boundary: frame → decoded packet →
+//!   typed handler, raw-protocol fan-out, and blocking-syscall dispatch;
+//! * [`send_recv`] — the Send/Receive/Reply message exchange, including
+//!   the alien admission path and the receiver pump;
+//! * [`transfer`] — `MoveTo`/`MoveFrom` bulk transfer: chunk streaming,
+//!   in-order reassembly and transfer acknowledgements;
+//! * [`naming`] — `GetPid` broadcast resolution;
+//! * [`timers`] — retransmission, transfer-stall and housekeeping
+//!   timers.
+//!
+//! Packet bodies arrive here already typed ([`v_wire::PacketBody`],
+//! decoded exactly once in [`dispatch`]): each `handle_*` method takes
+//! one body struct, never loose header words.
+
+pub(crate) mod dispatch;
+pub(crate) mod naming;
+pub(crate) mod send_recv;
+pub(crate) mod timers;
+pub(crate) mod transfer;

@@ -1,0 +1,126 @@
+//! `GetPid` logical-id resolution.
+//!
+//! A local-table miss broadcasts a `GetPidReq`; any kernel holding a
+//! remote-visible registration answers. The asker retries the broadcast
+//! a configured number of times before giving up — name resolution is
+//! the only part of the protocol with no reply-as-acknowledgement to
+//! lean on.
+
+use v_sim::SimTime;
+
+use crate::ctx::Ctx;
+use crate::event::TimerKind;
+use crate::naming::Scope;
+use crate::pcb::ProcState;
+use crate::pid::Pid;
+use crate::program::Outcome;
+use v_wire::{GetPidReply, GetPidReq, Packet, PacketBody};
+
+impl Ctx<'_> {
+    pub(crate) fn do_get_pid(&mut self, t: SimTime, pid: Pid, logical_id: u32, scope: Scope) {
+        let cost = self.host.costs.name_op;
+        let end = self.charge(t, cost);
+        let local_hit = match scope {
+            Scope::Remote => None,
+            _ => self.host.names.lookup_local(logical_id),
+        };
+        if let Some(found) = local_hit {
+            self.resume_at(end, pid, Outcome::GetPid(Some(found)));
+            return;
+        }
+        if scope == Scope::Local {
+            self.resume_at(end, pid, Outcome::GetPid(None));
+            return;
+        }
+        // Broadcast resolution.
+        {
+            let retries = self.proto.getpid_retries;
+            let pcb = self.host.proc_mut(pid).expect("caller exists");
+            pcb.state = ProcState::AwaitingGetPid {
+                logical_id,
+                retries_left: retries,
+            };
+        }
+        self.broadcast_getpid(end, pid, logical_id);
+    }
+
+    /// Broadcasts one `GetPidReq` and arms the answer timeout.
+    fn broadcast_getpid(&mut self, t: SimTime, pid: Pid, logical_id: u32) {
+        self.host.stats.getpid_broadcasts += 1;
+        let pkt = Packet {
+            seq: 0,
+            src_pid: pid.raw(),
+            dst_pid: 0,
+            body: PacketBody::GetPidReq(GetPidReq { logical_id }),
+        };
+        let emitted = self.emit_broadcast(t, &pkt);
+        let timeout = self.proto.getpid_timeout;
+        self.timer_at(
+            emitted.cpu_done + timeout,
+            TimerKind::GetPid { pid, logical_id },
+        );
+    }
+
+    pub(crate) fn getpid_timer(&mut self, t: SimTime, pid: Pid, logical_id: u32) {
+        let retries = match self.host.proc(pid).map(|p| &p.state) {
+            Some(ProcState::AwaitingGetPid {
+                logical_id: l,
+                retries_left,
+            }) if *l == logical_id => *retries_left,
+            _ => return,
+        };
+        if retries == 0 {
+            let pcb = self.host.proc_mut(pid).expect("checked");
+            pcb.state = ProcState::Ready;
+            self.resume_at(t, pid, Outcome::GetPid(None));
+            return;
+        }
+        {
+            let pcb = self.host.proc_mut(pid).expect("checked");
+            pcb.state = ProcState::AwaitingGetPid {
+                logical_id,
+                retries_left: retries - 1,
+            };
+        }
+        self.broadcast_getpid(t, pid, logical_id);
+    }
+
+    // ------------------------------------------------------------------
+    // Wire handlers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_getpid_req(&mut self, t: SimTime, src: Pid, body: GetPidReq) {
+        let Some(found) = self.host.names.lookup_remote(body.logical_id) else {
+            return;
+        };
+        self.host.stats.getpid_answers += 1;
+        let cost = self.host.costs.name_op;
+        let end = self.charge(t, cost);
+        let pkt = Packet {
+            seq: 0,
+            src_pid: found.raw(), // advertised pid also teaches the hostmap
+            dst_pid: src.raw(),
+            body: PacketBody::GetPidReply(GetPidReply {
+                logical_id: body.logical_id,
+                pid: found.raw(),
+            }),
+        };
+        self.emit_packet(end, &pkt, src.host());
+    }
+
+    pub(crate) fn handle_getpid_reply(&mut self, t: SimTime, dst: Pid, body: GetPidReply) {
+        let matches = matches!(
+            self.host.proc(dst).map(|p| &p.state),
+            Some(ProcState::AwaitingGetPid { logical_id: l, .. }) if *l == body.logical_id
+        );
+        if !matches {
+            return; // already resolved by an earlier answer
+        }
+        let cost =
+            self.host.costs.name_op + self.host.costs.unblock + self.host.costs.context_switch;
+        let end = self.charge(t, cost);
+        let pcb = self.host.proc_mut(dst).expect("checked");
+        pcb.state = ProcState::Ready;
+        self.resume_at(end, dst, Outcome::GetPid(Pid::from_raw(body.pid)));
+    }
+}

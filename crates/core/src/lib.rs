@@ -84,6 +84,7 @@ mod ctx;
 pub mod error;
 pub mod event;
 pub mod hostmap;
+mod ipc;
 pub mod message;
 pub mod naming;
 pub mod pcb;

@@ -31,6 +31,9 @@ pub struct KernelStats {
     pub aliens_exhausted: u64,
     /// Received frames discarded for checksum failure.
     pub checksum_drops: u64,
+    /// Received frames that passed the checksum but carried a packet kind
+    /// this kernel does not understand (dropped at the dispatch boundary).
+    pub unknown_kind_drops: u64,
     /// Bulk-transfer data chunks sent.
     pub chunks_sent: u64,
     /// Bulk-transfer data chunks received in order.

@@ -87,6 +87,14 @@ impl Frame {
     pub fn wire_bytes(&self) -> usize {
         self.payload.len()
     }
+
+    /// The payload after `skip` leading encapsulation bytes, or `None`
+    /// if the frame is too short to even hold the encapsulation header —
+    /// the boundary check receivers perform before handing bytes to a
+    /// packet decoder.
+    pub fn payload_after(&self, skip: usize) -> Option<&[u8]> {
+        self.payload.get(skip..)
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +111,20 @@ mod tests {
     fn display() {
         assert_eq!(format!("{}", MacAddr(0x0a)), "0a");
         assert_eq!(format!("{}", MacAddr::BROADCAST), "*");
+    }
+
+    #[test]
+    fn payload_after_bounds() {
+        let f = Frame::new(
+            MacAddr(1),
+            MacAddr(2),
+            EtherType::INTERKERNEL,
+            vec![1, 2, 3],
+        );
+        assert_eq!(f.payload_after(0), Some(&[1u8, 2, 3][..]));
+        assert_eq!(f.payload_after(2), Some(&[3u8][..]));
+        assert_eq!(f.payload_after(3), Some(&[][..]));
+        assert_eq!(f.payload_after(4), None);
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //!
 //! The three kind-specific words carry addresses, offsets, totals, logical
 //! ids and the like; see the `encode`/`decode` match arms for the exact
-//! mapping per kind.
+//! mapping per kind. Decoding is the single point where raw bytes become a
+//! typed [`PacketBody`]: everything past this function works with body
+//! structs, never with loose header words.
 
-use crate::packet::{Body, MsgBytes, Packet, PacketKind, TransferStatus, HEADER_LEN, MSG_LEN};
+use crate::packet::{
+    GetPidReply, GetPidReq, MoveFromData, MoveFromReq, MoveToData, MsgBytes, Packet, PacketBody,
+    PacketKind, ReplyBody, SendBody, TransferAck, TransferStatus, HEADER_LEN, MSG_LEN,
+};
 
 /// Flag bit: final chunk of a bulk transfer.
 const FLAG_LAST: u8 = 0x01;
@@ -100,76 +105,61 @@ pub fn encode(p: &Packet) -> Vec<u8> {
     let mut payload: Vec<u8> = Vec::new();
 
     match &p.body {
-        Body::Send {
-            msg,
-            appended,
-            appended_from,
-        } => {
-            word_a = *appended_from;
-            word_b = appended.len() as u32;
+        PacketBody::Send(b) => {
+            word_a = b.appended_from;
+            word_b = b.appended.len() as u32;
             word_c = 0;
-            payload.extend_from_slice(msg);
-            payload.extend_from_slice(appended);
+            payload.extend_from_slice(&b.msg);
+            payload.extend_from_slice(&b.appended);
         }
-        Body::Reply { msg, seg_dest, seg } => {
-            word_a = *seg_dest;
-            word_b = seg.len() as u32;
+        PacketBody::Reply(b) => {
+            word_a = b.seg_dest;
+            word_b = b.seg.len() as u32;
             word_c = 0;
-            payload.extend_from_slice(msg);
-            payload.extend_from_slice(seg);
+            payload.extend_from_slice(&b.msg);
+            payload.extend_from_slice(&b.seg);
         }
-        Body::ReplyPending | Body::Nack => {
+        PacketBody::ReplyPending | PacketBody::Nack => {
             word_a = 0;
             word_b = 0;
             word_c = 0;
         }
-        Body::MoveToData {
-            dest,
-            offset,
-            total,
-            last,
-            data,
-        } => {
-            if *last {
+        PacketBody::MoveToData(b) => {
+            if b.last {
                 flags |= FLAG_LAST;
             }
-            word_a = *dest;
-            word_b = *offset;
-            word_c = *total;
-            payload.extend_from_slice(data);
+            word_a = b.dest;
+            word_b = b.offset;
+            word_c = b.total;
+            payload.extend_from_slice(&b.data);
         }
-        Body::MoveFromReq { src, offset, total } => {
-            word_a = *src;
-            word_b = *offset;
-            word_c = *total;
+        PacketBody::MoveFromReq(b) => {
+            word_a = b.src;
+            word_b = b.offset;
+            word_c = b.total;
         }
-        Body::MoveFromData {
-            offset,
-            total,
-            last,
-            data,
-        } => {
-            if *last {
+        PacketBody::MoveFromData(b) => {
+            if b.last {
                 flags |= FLAG_LAST;
             }
             word_a = 0;
-            word_b = *offset;
-            word_c = *total;
-            payload.extend_from_slice(data);
+            word_b = b.offset;
+            word_c = b.total;
+            payload.extend_from_slice(&b.data);
         }
-        Body::TransferAck { received, status } => {
-            word_a = *received;
-            word_b = *status as u32;
+        PacketBody::TransferAck(b) => {
+            word_a = b.received;
+            word_b = b.status as u32;
             word_c = 0;
         }
-        Body::GetPidReq { logical_id } => {
-            word_a = *logical_id;
+        PacketBody::GetPidReq(b) => {
+            word_a = b.logical_id;
             word_b = 0;
             word_c = 0;
         }
-        Body::GetPidReply { logical_id, pid } => {
-            word_a = *logical_id;
-            word_b = *pid;
+        PacketBody::GetPidReply(b) => {
+            word_a = b.logical_id;
+            word_b = b.pid;
             word_c = 0;
         }
     }
@@ -195,7 +185,8 @@ pub fn encode(p: &Packet) -> Vec<u8> {
 }
 
 /// Decodes a packet from its on-wire byte representation, verifying the
-/// checksum.
+/// checksum. This is the only place raw header words are interpreted;
+/// the result carries fully typed bodies.
 pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
     if bytes.len() < HEADER_LEN {
         return Err(WireError::TooShort);
@@ -237,58 +228,86 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
         Ok((msg, payload[MSG_LEN..].to_vec()))
     };
 
+    // Kinds without a data payload must not smuggle one: a decoded packet
+    // always re-encodes to the exact bytes it came from.
+    let no_payload = || -> Result<(), WireError> {
+        if payload.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed)
+        }
+    };
+
     let body = match kind {
         PacketKind::Send => {
             let (msg, appended) = take_msg(payload)?;
             if appended.len() != word_b as usize {
                 return Err(WireError::Malformed);
             }
-            Body::Send {
+            PacketBody::Send(SendBody {
                 msg,
                 appended,
                 appended_from: word_a,
-            }
+            })
         }
         PacketKind::Reply => {
             let (msg, seg) = take_msg(payload)?;
             if seg.len() != word_b as usize {
                 return Err(WireError::Malformed);
             }
-            Body::Reply {
+            PacketBody::Reply(ReplyBody {
                 msg,
                 seg_dest: word_a,
                 seg,
-            }
+            })
         }
-        PacketKind::ReplyPending => Body::ReplyPending,
-        PacketKind::Nack => Body::Nack,
-        PacketKind::MoveToData => Body::MoveToData {
+        PacketKind::ReplyPending => {
+            no_payload()?;
+            PacketBody::ReplyPending
+        }
+        PacketKind::Nack => {
+            no_payload()?;
+            PacketBody::Nack
+        }
+        PacketKind::MoveToData => PacketBody::MoveToData(MoveToData {
             dest: word_a,
             offset: word_b,
             total: word_c,
             last,
             data: payload.to_vec(),
-        },
-        PacketKind::MoveFromReq => Body::MoveFromReq {
-            src: word_a,
-            offset: word_b,
-            total: word_c,
-        },
-        PacketKind::MoveFromData => Body::MoveFromData {
+        }),
+        PacketKind::MoveFromReq => {
+            no_payload()?;
+            PacketBody::MoveFromReq(MoveFromReq {
+                src: word_a,
+                offset: word_b,
+                total: word_c,
+            })
+        }
+        PacketKind::MoveFromData => PacketBody::MoveFromData(MoveFromData {
             offset: word_b,
             total: word_c,
             last,
             data: payload.to_vec(),
-        },
-        PacketKind::TransferAck => Body::TransferAck {
-            received: word_a,
-            status: TransferStatus::from_u8(word_b as u8).ok_or(WireError::Malformed)?,
-        },
-        PacketKind::GetPidReq => Body::GetPidReq { logical_id: word_a },
-        PacketKind::GetPidReply => Body::GetPidReply {
-            logical_id: word_a,
-            pid: word_b,
-        },
+        }),
+        PacketKind::TransferAck => {
+            no_payload()?;
+            PacketBody::TransferAck(TransferAck {
+                received: word_a,
+                status: TransferStatus::from_u8(word_b as u8).ok_or(WireError::Malformed)?,
+            })
+        }
+        PacketKind::GetPidReq => {
+            no_payload()?;
+            PacketBody::GetPidReq(GetPidReq { logical_id: word_a })
+        }
+        PacketKind::GetPidReply => {
+            no_payload()?;
+            PacketBody::GetPidReply(GetPidReply {
+                logical_id: word_a,
+                pid: word_b,
+            })
+        }
     };
 
     Ok(Packet {
@@ -310,102 +329,102 @@ mod tests {
                 seq: 7,
                 src_pid: 0x0001_0002,
                 dst_pid: 0x0003_0004,
-                body: Body::Send {
+                body: PacketBody::Send(SendBody {
                     msg,
                     appended: vec![9; 512],
                     appended_from: 0x1000,
-                },
+                }),
             },
             Packet {
                 seq: 7,
                 src_pid: 0x0003_0004,
                 dst_pid: 0x0001_0002,
-                body: Body::Reply {
+                body: PacketBody::Reply(ReplyBody {
                     msg,
                     seg_dest: 0x2000,
                     seg: vec![1, 2, 3],
-                },
+                }),
             },
             Packet {
                 seq: 8,
                 src_pid: 1,
                 dst_pid: 2,
-                body: Body::ReplyPending,
+                body: PacketBody::ReplyPending,
             },
             Packet {
                 seq: 9,
                 src_pid: 1,
                 dst_pid: 2,
-                body: Body::Nack,
+                body: PacketBody::Nack,
             },
             Packet {
                 seq: 10,
                 src_pid: 1,
                 dst_pid: 2,
-                body: Body::MoveToData {
+                body: PacketBody::MoveToData(MoveToData {
                     dest: 0x500,
                     offset: 1024,
                     total: 4096,
                     last: false,
                     data: vec![0xCC; 1024],
-                },
+                }),
             },
             Packet {
                 seq: 10,
                 src_pid: 1,
                 dst_pid: 2,
-                body: Body::MoveToData {
+                body: PacketBody::MoveToData(MoveToData {
                     dest: 0x500,
                     offset: 3072,
                     total: 4096,
                     last: true,
                     data: vec![0xDD; 1024],
-                },
+                }),
             },
             Packet {
                 seq: 11,
                 src_pid: 1,
                 dst_pid: 2,
-                body: Body::MoveFromReq {
+                body: PacketBody::MoveFromReq(MoveFromReq {
                     src: 0x4000,
                     offset: 512,
                     total: 2048,
-                },
+                }),
             },
             Packet {
                 seq: 11,
                 src_pid: 2,
                 dst_pid: 1,
-                body: Body::MoveFromData {
+                body: PacketBody::MoveFromData(MoveFromData {
                     offset: 512,
                     total: 2048,
                     last: true,
                     data: vec![5; 100],
-                },
+                }),
             },
             Packet {
                 seq: 10,
                 src_pid: 2,
                 dst_pid: 1,
-                body: Body::TransferAck {
+                body: PacketBody::TransferAck(TransferAck {
                     received: 4096,
                     status: TransferStatus::Complete,
-                },
+                }),
             },
             Packet {
                 seq: 0,
                 src_pid: 1,
                 dst_pid: 0,
-                body: Body::GetPidReq { logical_id: 3 },
+                body: PacketBody::GetPidReq(GetPidReq { logical_id: 3 }),
             },
             Packet {
                 seq: 0,
                 src_pid: 5,
                 dst_pid: 1,
-                body: Body::GetPidReply {
+                body: PacketBody::GetPidReply(GetPidReply {
                     logical_id: 3,
                     pid: 0x0002_0001,
-                },
+                }),
             },
         ]
     }

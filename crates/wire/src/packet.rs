@@ -1,4 +1,9 @@
 //! Packet vocabulary of the interkernel protocol.
+//!
+//! Every packet kind with contents gets its own body struct so the
+//! kernel's handlers consume one typed value instead of a fistful of
+//! loose scalars; [`PacketBody`] is the tagged union the codec decodes
+//! exactly once at the receive boundary.
 
 /// Length of the fixed interkernel header in bytes.
 ///
@@ -66,7 +71,7 @@ impl PacketKind {
     }
 }
 
-/// Status carried by a [`Packet::TransferAck`].
+/// Status carried by a [`TransferAck`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum TransferStatus {
@@ -93,6 +98,97 @@ impl TransferStatus {
     }
 }
 
+/// Contents of a [`PacketKind::Send`] packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendBody {
+    /// The 32-byte message.
+    pub msg: MsgBytes,
+    /// First part of the read-granted segment, if any (empty if the
+    /// message grants no read access or the segment is empty).
+    pub appended: Vec<u8>,
+    /// Address-space offset the appended bytes start at (the segment
+    /// start address from the message conventions).
+    pub appended_from: u32,
+}
+
+/// Contents of a [`PacketKind::Reply`] packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyBody {
+    /// The 32-byte reply message.
+    pub msg: MsgBytes,
+    /// Destination address for `seg` in the original sender's space
+    /// (meaningful only when `seg` is non-empty).
+    pub seg_dest: u32,
+    /// Short segment transmitted with the reply (empty for plain
+    /// `Reply`).
+    pub seg: Vec<u8>,
+}
+
+/// Contents of a [`PacketKind::MoveToData`] chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveToData {
+    /// Absolute destination address of this chunk in the destination
+    /// process's space.
+    pub dest: u32,
+    /// Offset of this chunk within the whole transfer.
+    pub offset: u32,
+    /// Total bytes in the whole transfer.
+    pub total: u32,
+    /// True on the final chunk — solicits the single [`TransferAck`].
+    pub last: bool,
+    /// Chunk data.
+    pub data: Vec<u8>,
+}
+
+/// Contents of a [`PacketKind::MoveFromReq`] packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveFromReq {
+    /// Absolute source address in the remote (granting) process.
+    pub src: u32,
+    /// Offset to resume from (0 for the initial request).
+    pub offset: u32,
+    /// Total bytes requested.
+    pub total: u32,
+}
+
+/// Contents of a [`PacketKind::MoveFromData`] chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveFromData {
+    /// Offset of this chunk within the whole transfer.
+    pub offset: u32,
+    /// Total bytes in the whole transfer.
+    pub total: u32,
+    /// True on the final chunk.
+    pub last: bool,
+    /// Chunk data.
+    pub data: Vec<u8>,
+}
+
+/// Contents of a [`PacketKind::TransferAck`] packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferAck {
+    /// Bytes received in order at the destination.
+    pub received: u32,
+    /// Transfer disposition.
+    pub status: TransferStatus,
+}
+
+/// Contents of a [`PacketKind::GetPidReq`] broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetPidReq {
+    /// Logical id being resolved (fileserver, nameserver, ...).
+    pub logical_id: u32,
+}
+
+/// Contents of a [`PacketKind::GetPidReply`] packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetPidReply {
+    /// Logical id this answers for.
+    pub logical_id: u32,
+    /// The pid registered under that logical id.
+    pub pid: u32,
+}
+
 /// An interkernel packet.
 ///
 /// `seq` disambiguates retransmissions: for message exchange it is the
@@ -113,116 +209,61 @@ pub struct Packet {
     /// Destination process.
     pub dst_pid: u32,
     /// Kind-specific contents.
-    pub body: Body,
+    pub body: PacketBody,
 }
 
-/// Kind-specific packet contents.
+/// Kind-specific packet contents, decoded once at the receive boundary.
+///
+/// `ReplyPending` and `Nack` are pure signals with no fields; every other
+/// kind wraps its dedicated body struct.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Body {
+pub enum PacketBody {
     /// See [`PacketKind::Send`].
-    Send {
-        /// The 32-byte message.
-        msg: MsgBytes,
-        /// First part of the read-granted segment, if any (empty if the
-        /// message grants no read access or the segment is empty).
-        appended: Vec<u8>,
-        /// Address-space offset the appended bytes start at (the segment
-        /// start address from the message conventions).
-        appended_from: u32,
-    },
+    Send(SendBody),
     /// See [`PacketKind::Reply`].
-    Reply {
-        /// The 32-byte reply message.
-        msg: MsgBytes,
-        /// Destination address for `seg` in the original sender's space
-        /// (meaningful only when `seg` is non-empty).
-        seg_dest: u32,
-        /// Short segment transmitted with the reply (empty for plain
-        /// `Reply`).
-        seg: Vec<u8>,
-    },
+    Reply(ReplyBody),
     /// See [`PacketKind::ReplyPending`].
     ReplyPending,
     /// See [`PacketKind::Nack`].
     Nack,
     /// See [`PacketKind::MoveToData`].
-    MoveToData {
-        /// Absolute destination address of this chunk in the destination
-        /// process's space.
-        dest: u32,
-        /// Offset of this chunk within the whole transfer.
-        offset: u32,
-        /// Total bytes in the whole transfer.
-        total: u32,
-        /// True on the final chunk — solicits the single [`Body::TransferAck`].
-        last: bool,
-        /// Chunk data.
-        data: Vec<u8>,
-    },
+    MoveToData(MoveToData),
     /// See [`PacketKind::MoveFromReq`].
-    MoveFromReq {
-        /// Absolute source address in the remote (granting) process.
-        src: u32,
-        /// Offset to resume from (0 for the initial request).
-        offset: u32,
-        /// Total bytes requested.
-        total: u32,
-    },
+    MoveFromReq(MoveFromReq),
     /// See [`PacketKind::MoveFromData`].
-    MoveFromData {
-        /// Offset of this chunk within the whole transfer.
-        offset: u32,
-        /// Total bytes in the whole transfer.
-        total: u32,
-        /// True on the final chunk.
-        last: bool,
-        /// Chunk data.
-        data: Vec<u8>,
-    },
+    MoveFromData(MoveFromData),
     /// See [`PacketKind::TransferAck`].
-    TransferAck {
-        /// Bytes received in order at the destination.
-        received: u32,
-        /// Transfer disposition.
-        status: TransferStatus,
-    },
+    TransferAck(TransferAck),
     /// See [`PacketKind::GetPidReq`].
-    GetPidReq {
-        /// Logical id being resolved (fileserver, nameserver, ...).
-        logical_id: u32,
-    },
+    GetPidReq(GetPidReq),
     /// See [`PacketKind::GetPidReply`].
-    GetPidReply {
-        /// Logical id this answers for.
-        logical_id: u32,
-        /// The pid registered under that logical id.
-        pid: u32,
-    },
+    GetPidReply(GetPidReply),
 }
 
 impl Packet {
     /// This packet's kind discriminator.
     pub fn kind(&self) -> PacketKind {
         match self.body {
-            Body::Send { .. } => PacketKind::Send,
-            Body::Reply { .. } => PacketKind::Reply,
-            Body::ReplyPending => PacketKind::ReplyPending,
-            Body::Nack => PacketKind::Nack,
-            Body::MoveToData { .. } => PacketKind::MoveToData,
-            Body::MoveFromReq { .. } => PacketKind::MoveFromReq,
-            Body::MoveFromData { .. } => PacketKind::MoveFromData,
-            Body::TransferAck { .. } => PacketKind::TransferAck,
-            Body::GetPidReq { .. } => PacketKind::GetPidReq,
-            Body::GetPidReply { .. } => PacketKind::GetPidReply,
+            PacketBody::Send(_) => PacketKind::Send,
+            PacketBody::Reply(_) => PacketKind::Reply,
+            PacketBody::ReplyPending => PacketKind::ReplyPending,
+            PacketBody::Nack => PacketKind::Nack,
+            PacketBody::MoveToData(_) => PacketKind::MoveToData,
+            PacketBody::MoveFromReq(_) => PacketKind::MoveFromReq,
+            PacketBody::MoveFromData(_) => PacketKind::MoveFromData,
+            PacketBody::TransferAck(_) => PacketKind::TransferAck,
+            PacketBody::GetPidReq(_) => PacketKind::GetPidReq,
+            PacketBody::GetPidReply(_) => PacketKind::GetPidReply,
         }
     }
 
     /// Number of payload bytes this packet adds on top of the header.
     pub fn payload_len(&self) -> usize {
         match &self.body {
-            Body::Send { appended, .. } => MSG_LEN + appended.len(),
-            Body::Reply { seg, .. } => MSG_LEN + seg.len(),
-            Body::MoveToData { data, .. } | Body::MoveFromData { data, .. } => data.len(),
+            PacketBody::Send(b) => MSG_LEN + b.appended.len(),
+            PacketBody::Reply(b) => MSG_LEN + b.seg.len(),
+            PacketBody::MoveToData(b) => b.data.len(),
+            PacketBody::MoveFromData(b) => b.data.len(),
             _ => 0,
         }
     }
@@ -276,11 +317,11 @@ mod tests {
             seq: 1,
             src_pid: 2,
             dst_pid: 3,
-            body: Body::Send {
+            body: PacketBody::Send(SendBody {
                 msg: [0; MSG_LEN],
                 appended: vec![],
                 appended_from: 0,
-            },
+            }),
         };
         assert_eq!(p.wire_len(), 64);
     }
@@ -291,10 +332,10 @@ mod tests {
             seq: 0,
             src_pid: 0,
             dst_pid: 0,
-            body: Body::TransferAck {
+            body: PacketBody::TransferAck(TransferAck {
                 received: 10,
                 status: TransferStatus::Complete,
-            },
+            }),
         };
         assert_eq!(ack.payload_len(), 0);
         assert_eq!(ack.wire_len(), HEADER_LEN);
@@ -303,13 +344,13 @@ mod tests {
             seq: 0,
             src_pid: 0,
             dst_pid: 0,
-            body: Body::MoveToData {
-                dest: 0,
+            body: PacketBody::MoveToData(MoveToData {
+                dest: 0x500,
                 offset: 0,
                 total: 100,
                 last: true,
                 data: vec![0; 100],
-            },
+            }),
         };
         assert_eq!(data.payload_len(), 100);
     }

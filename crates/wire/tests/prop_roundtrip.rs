@@ -18,27 +18,34 @@ fn arb_status() -> impl Strategy<Value = TransferStatus> {
     ]
 }
 
-fn arb_body() -> impl Strategy<Value = v_wire::packet::Body> {
-    use v_wire::packet::Body;
+fn arb_body() -> impl Strategy<Value = v_wire::PacketBody> {
+    use v_wire::{
+        GetPidReply, GetPidReq, MoveFromData, MoveFromReq, MoveToData, PacketBody, ReplyBody,
+        SendBody, TransferAck,
+    };
     prop_oneof![
         (
             arb_msg(),
             prop::collection::vec(any::<u8>(), 0..600),
             any::<u32>()
         )
-            .prop_map(|(msg, appended, appended_from)| Body::Send {
+            .prop_map(|(msg, appended, appended_from)| PacketBody::Send(SendBody {
                 msg,
                 appended,
                 appended_from,
-            }),
+            })),
         (
             arb_msg(),
             any::<u32>(),
             prop::collection::vec(any::<u8>(), 0..600)
         )
-            .prop_map(|(msg, seg_dest, seg)| Body::Reply { msg, seg_dest, seg }),
-        Just(Body::ReplyPending),
-        Just(Body::Nack),
+            .prop_map(|(msg, seg_dest, seg)| PacketBody::Reply(ReplyBody {
+                msg,
+                seg_dest,
+                seg
+            })),
+        Just(PacketBody::ReplyPending),
+        Just(PacketBody::Nack),
         (
             any::<u32>(),
             any::<u32>(),
@@ -46,32 +53,38 @@ fn arb_body() -> impl Strategy<Value = v_wire::packet::Body> {
             any::<bool>(),
             prop::collection::vec(any::<u8>(), 0..1100)
         )
-            .prop_map(|(dest, offset, total, last, data)| Body::MoveToData {
-                dest,
-                offset,
-                total,
-                last,
-                data,
-            }),
-        (any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(src, offset, total)| { Body::MoveFromReq { src, offset, total } }),
+            .prop_map(|(dest, offset, total, last, data)| PacketBody::MoveToData(
+                MoveToData {
+                    dest,
+                    offset,
+                    total,
+                    last,
+                    data,
+                }
+            )),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(src, offset, total)| {
+            PacketBody::MoveFromReq(MoveFromReq { src, offset, total })
+        }),
         (
             any::<u32>(),
             any::<u32>(),
             any::<bool>(),
             prop::collection::vec(any::<u8>(), 0..1100)
         )
-            .prop_map(|(offset, total, last, data)| Body::MoveFromData {
-                offset,
-                total,
-                last,
-                data,
-            }),
-        (any::<u32>(), arb_status())
-            .prop_map(|(received, status)| Body::TransferAck { received, status }),
-        any::<u32>().prop_map(|logical_id| Body::GetPidReq { logical_id }),
+            .prop_map(|(offset, total, last, data)| PacketBody::MoveFromData(
+                MoveFromData {
+                    offset,
+                    total,
+                    last,
+                    data,
+                }
+            )),
+        (any::<u32>(), arb_status()).prop_map(|(received, status)| PacketBody::TransferAck(
+            TransferAck { received, status }
+        )),
+        any::<u32>().prop_map(|logical_id| PacketBody::GetPidReq(GetPidReq { logical_id })),
         (any::<u32>(), any::<u32>())
-            .prop_map(|(logical_id, pid)| Body::GetPidReply { logical_id, pid }),
+            .prop_map(|(logical_id, pid)| PacketBody::GetPidReply(GetPidReply { logical_id, pid })),
     ]
 }
 
