@@ -142,3 +142,92 @@ pub fn streaming_comparison() -> Comparison {
     c.note("while adding buffering copies and cache-consistency problems");
     c
 }
+
+/// Protocol ablations: the §3.4 appended-segment optimization and the
+/// alien reply cache, each switched off via its [`v_kernel::ProtocolConfig`]
+/// toggle to quantify what the mechanism buys.
+pub fn protocol_ablations() -> Comparison {
+    let speed = CpuSpeed::Mc68000At10MHz;
+    let mut c = Comparison::new(
+        "Ablations",
+        "appended segments and reply caching switched off, 10 MHz",
+    );
+
+    // Appended segments: a 512-byte page write is one two-packet
+    // exchange with them, Send + MoveFrom + Reply without (the
+    // unmodified Thoth-style kernel).
+    let with_seg = super::table_6_1::measure_page(
+        speed,
+        v_workloads::page::PageOp::Write,
+        v_workloads::page::PageMode::Segment,
+        true,
+    );
+    // Thoth mode runs with `appended_segments = false` — the same
+    // measurement Table 6-1 reports, reused here as the ablation's
+    // other arm.
+    let without_seg = super::table_6_1::measure_page(
+        speed,
+        v_workloads::page::PageOp::Write,
+        v_workloads::page::PageMode::Thoth,
+        true,
+    );
+    c.push_ours(
+        "page write, appended segments on",
+        with_seg.elapsed_ms,
+        "ms",
+    );
+    c.push_ours(
+        "page write, appended segments off",
+        without_seg.elapsed_ms,
+        "ms",
+    );
+    c.push(
+        "appended-segment savings",
+        paper::SEGMENT_SAVINGS,
+        without_seg.elapsed_ms - with_seg.elapsed_ms,
+        "ms",
+    );
+
+    // Reply caching: under loss, a cached reply answers a retransmitted
+    // Send directly; without it (alien keep = 0) the exchange is
+    // re-delivered and the receiver re-executes.
+    let loss = v_net::FaultPlan::with_loss(0.05);
+    let run = |caching: bool| {
+        let mut cfg = ClusterConfig::three_mb().with_hosts(2, speed);
+        cfg.faults = loss;
+        cfg.protocol.reply_caching = caching;
+        cfg.protocol.retransmit_timeout = SimDuration::from_millis(20);
+        let mut cl = Cluster::new(cfg);
+        let echo = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+        cl.run();
+        let rep = v_workloads::measure::probe(Default::default());
+        cl.spawn(
+            HostId(0),
+            "pinger",
+            Box::new(Pinger::new(echo, N_EXCHANGES, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow().clone();
+        assert!(r.clean(), "lossy exchange loop failed: {r:?}");
+        (r.per_op_ms(), cl.kernel_stats(HostId(1)))
+    };
+    let (cached_ms, cached_ks) = run(true);
+    let (uncached_ms, uncached_ks) = run(false);
+    c.push_ours("exchange, 5% loss, reply cache on", cached_ms, "ms");
+    c.push_ours("exchange, 5% loss, reply cache off", uncached_ms, "ms");
+    c.push_ours(
+        "cached replies retransmitted",
+        cached_ks.replies_retransmitted as f64,
+        "packets",
+    );
+    c.push_ours(
+        "re-deliveries without the cache",
+        uncached_ks
+            .aliens_allocated
+            .saturating_sub(cached_ks.aliens_allocated) as f64,
+        "exchanges",
+    );
+    c.note("appended off: ProtocolConfig::appended_segments = false (Send carries no data)");
+    c.note("cache off: ProtocolConfig::reply_caching = false (alien freed at reply; keep = 0)");
+    c
+}

@@ -14,8 +14,11 @@ mod table_6_1;
 mod table_6_2;
 mod table_6_3;
 mod ten_mb;
+mod wan;
 
-pub use ablations::{ip_encapsulation, netserver_relay, streaming_comparison, wfs_comparison};
+pub use ablations::{
+    ip_encapsulation, netserver_relay, protocol_ablations, streaming_comparison, wfs_comparison,
+};
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;
 pub use table_4_1::{network_penalty, network_penalty_with_rounds};
@@ -24,6 +27,7 @@ pub use table_6_1::page_access;
 pub use table_6_2::sequential_access;
 pub use table_6_3::program_loading;
 pub use ten_mb::ten_mb_ethernet;
+pub use wan::{wan_topologies, wan_with_rounds};
 
 use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId, Pid, Program};
 use v_workloads::measure::{probe, CpuSnapshot, Probe, RunReport};

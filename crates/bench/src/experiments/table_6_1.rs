@@ -15,7 +15,7 @@ pub(crate) fn measure_page(speed: CpuSpeed, op: PageOp, mode: PageMode, remote: 
     let cl = if mode == PageMode::Thoth {
         // The unmodified kernel: no appended segments on Send.
         let mut cfg = ClusterConfig::three_mb().with_hosts(2, speed);
-        cfg.protocol.max_appended_segment = 0;
+        cfg.protocol.appended_segments = false;
         Cluster::new(cfg)
     } else {
         pair_3mb(speed)

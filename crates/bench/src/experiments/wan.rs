@@ -1,0 +1,131 @@
+//! Beyond the paper's single segment: message exchange (the Table 4-1
+//! procedure's successor at message level) and Table 6-1 page reads
+//! rerun across a store-and-forward gateway, and exchanges over a lossy
+//! point-to-point WAN link.
+//!
+//! The paper's tables all assume one shared Ethernet; these rows
+//! quantify what its protocol costs once a gateway hop or a long-haul
+//! line sits between client and server. There are no published values
+//! to compare against — every row is measurement-only — but the table
+//! must show **nonzero added hop latency** and **loss-driven
+//! retransmissions**, which the calibration suite and CI artifact keep
+//! honest.
+
+use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId, KernelStats};
+use v_net::{InternetworkConfig, LinkParams};
+use v_workloads::echo::{EchoServer, Pinger};
+use v_workloads::measure::{probe, RunReport};
+use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
+
+use crate::report::Comparison;
+
+use super::pair_3mb;
+
+/// Runs `rounds` remote exchanges (echo on host 1, pinger on host 0);
+/// returns mean ms per exchange and the finished cluster for stats.
+fn run_exchange(mut cl: Cluster, rounds: u64) -> (f64, Cluster) {
+    let echo = cl.spawn(HostId(1), "echo", Box::new(EchoServer));
+    cl.run(); // let the server reach its Receive
+    let rep = probe(RunReport::default());
+    cl.spawn(
+        HostId(0),
+        "pinger",
+        Box::new(Pinger::new(echo, rounds, rep.clone())),
+    );
+    cl.run();
+    let r = rep.borrow().clone();
+    assert!(r.clean(), "exchange loop failed: {r:?}");
+    (r.per_op_ms(), cl)
+}
+
+/// Runs `rounds` 512-byte page reads (server on host 1).
+fn run_page_reads(mut cl: Cluster, rounds: u64) -> f64 {
+    let rep = probe(RunReport::default());
+    let server = cl.spawn(
+        HostId(1),
+        "pageserver",
+        Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, rep.clone())),
+    );
+    cl.run();
+    let crep = probe(RunReport::default());
+    cl.spawn(
+        HostId(0),
+        "pageclient",
+        Box::new(PageClient::new(
+            server,
+            PageOp::Read,
+            512,
+            rounds,
+            0x7E,
+            crep.clone(),
+        )),
+    );
+    cl.run();
+    let r = crep.borrow().clone();
+    assert!(r.clean(), "page-read loop failed: {r:?}");
+    r.per_op_ms()
+}
+
+/// A client on segment 0 and a server on segment 1 of a two-segment
+/// 3 Mb internetwork.
+fn gateway_pair(speed: CpuSpeed) -> Cluster {
+    Cluster::new(
+        ClusterConfig::internetwork(InternetworkConfig::two_segments())
+            .with_host_on(speed, 0)
+            .with_host_on(speed, 1),
+    )
+}
+
+/// The WAN/internetwork table with the full round count.
+pub fn wan_topologies() -> Comparison {
+    wan_with_rounds(200)
+}
+
+/// [`wan_topologies`] with a configurable round count; the CI smoke job
+/// runs a handful of rounds to keep the pipeline check cheap.
+pub fn wan_with_rounds(rounds: u64) -> Comparison {
+    let speed = CpuSpeed::Mc68000At8MHz;
+    let mut c = Comparison::new(
+        "WAN",
+        "message exchange and page reads beyond one segment, 8 MHz",
+    );
+
+    // Message exchange: one segment vs across the gateway.
+    let (seg_ms, _) = run_exchange(pair_3mb(speed), rounds);
+    let (gw_ms, gw_cl) = run_exchange(gateway_pair(speed), rounds);
+    let g = gw_cl.gateway_stats().expect("gateway topology");
+    c.push_ours("remote exchange, one 3 Mb segment", seg_ms, "ms");
+    c.push_ours("remote exchange, across gateway", gw_ms, "ms");
+    c.push_ours("added gateway hop latency", gw_ms - seg_ms, "ms");
+    c.push_ours("gateway frames forwarded", g.forwarded as f64, "frames");
+
+    // Table 6-1 page reads: one segment vs across the gateway.
+    let read_seg = run_page_reads(pair_3mb(speed), rounds);
+    let read_gw = run_page_reads(gateway_pair(speed), rounds);
+    c.push_ours("page read 512 B, one segment", read_seg, "ms");
+    c.push_ours("page read 512 B, across gateway", read_gw, "ms");
+    c.push_ours("page read added hop latency", read_gw - read_seg, "ms");
+
+    // A clean long-haul link: distance dominates everything.
+    let clean = ClusterConfig::wan(LinkParams::T1).with_hosts(2, speed);
+    let (wan_ms, _) = run_exchange(Cluster::new(clean), rounds);
+    c.push_ours("exchange over clean T1 WAN (30 ms one way)", wan_ms, "ms");
+
+    // The same link with 5% loss: the kernel's retransmission machinery
+    // pays for every lost packet with a timeout.
+    let lossy = ClusterConfig::wan(LinkParams::T1.with_loss(0.05)).with_hosts(2, speed);
+    let (lossy_ms, lossy_cl) = run_exchange(Cluster::new(lossy), rounds);
+    let ks: KernelStats = lossy_cl.kernel_stats(HostId(0));
+    let ks1: KernelStats = lossy_cl.kernel_stats(HostId(1));
+    c.push_ours("exchange over T1 WAN, 5% loss", lossy_ms, "ms");
+    c.push_ours(
+        "loss-driven retransmissions",
+        (ks.retransmissions + ks1.retransmissions + ks1.replies_retransmitted) as f64,
+        "packets",
+    );
+
+    c.note("gateway: store-and-forward host joining two 3 Mb segments, bounded 8-frame queue");
+    c.note("WAN: full-duplex 1.544 Mb/s link, 30 ms propagation each way");
+    c.note("no paper counterpart — the 1983 evaluation never leaves one segment");
+    c
+}

@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|ablate]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -40,6 +40,8 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "relay" => exp::netserver_relay(),
         "wfs" => exp::wfs_comparison(),
         "streaming" => exp::streaming_comparison(),
+        "wan" => exp::wan_topologies(),
+        "ablate" => exp::protocol_ablations(),
         other => {
             eprintln!("unknown experiment: {other}");
             return None;
@@ -47,7 +49,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 15] = [
     "4-1",
     "5-1",
     "5-2",
@@ -61,6 +63,8 @@ const ALL: [&str; 13] = [
     "relay",
     "wfs",
     "streaming",
+    "wan",
+    "ablate",
 ];
 
 /// Parsed command line.
@@ -154,11 +158,15 @@ fn main() {
 
     if opts.smoke {
         let c = exp::network_penalty_with_rounds(5);
-        let ok = process(&c, "4-1", &opts);
+        let mut ok = process(&c, "4-1", &opts);
+        let w = exp::wan_with_rounds(60);
+        ok &= process(&w, "wan", &opts);
         if !ok {
             std::process::exit(2);
         }
-        println!("smoke OK: Table 4-1 pipeline ran end to end (5 rounds, not a measurement)");
+        println!(
+            "smoke OK: Table 4-1 and WAN pipelines ran end to end (tiny rounds, not a measurement)"
+        );
         return;
     }
 

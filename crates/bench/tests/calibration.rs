@@ -160,3 +160,30 @@ fn section_7_capacity() {
     let knee = metric_of(&c, "degradation knee (30 ws vs 10 ws response)");
     assert!(knee > 3.0, "no saturation knee: {knee:.1}x");
 }
+
+#[test]
+fn wan_topologies_show_hop_latency_and_loss_recovery() {
+    let c = exp::wan_with_rounds(100);
+    assert!(metric_of(&c, "added gateway hop latency") > 0.0);
+    assert!(metric_of(&c, "page read added hop latency") > 0.0);
+    // Distance dominates: a 30 ms line makes every exchange ≥ one RTT.
+    assert!(metric_of(&c, "exchange over clean T1 WAN (30 ms one way)") > 60.0);
+    assert!(metric_of(&c, "loss-driven retransmissions") > 0.0);
+    assert!(
+        metric_of(&c, "exchange over T1 WAN, 5% loss")
+            > metric_of(&c, "exchange over clean T1 WAN (30 ms one way)"),
+        "loss must cost retransmission timeouts"
+    );
+}
+
+#[test]
+fn protocol_ablations_quantify_their_mechanisms() {
+    let c = exp::protocol_ablations();
+    assert!(
+        metric_of(&c, "page write, appended segments off")
+            > metric_of(&c, "page write, appended segments on"),
+        "appended segments must save a transfer round"
+    );
+    assert!(metric_of(&c, "cached replies retransmitted") > 0.0);
+    assert!(metric_of(&c, "re-deliveries without the cache") > 0.0);
+}

@@ -5,7 +5,7 @@
 //! top-level object experiments construct; see the crate examples and the
 //! `v-bench` experiments for usage.
 
-use v_net::{EtherType, Ethernet, MacAddr, Nic};
+use v_net::{EtherType, Ethernet, MacAddr, Nic, Transport};
 use v_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::aliens::AlienTable;
@@ -61,7 +61,7 @@ pub(crate) enum Pending {
 pub struct Cluster {
     pub(crate) cfg: ClusterConfig,
     pub(crate) queue: EventQueue<Event>,
-    pub(crate) net: Ethernet,
+    pub(crate) net: Box<dyn Transport>,
     pub(crate) hosts: Vec<Host>,
     pub(crate) housekeeping_armed: Vec<bool>,
 }
@@ -69,14 +69,22 @@ pub struct Cluster {
 impl Cluster {
     /// Builds a cluster from a configuration.
     pub fn new(cfg: ClusterConfig) -> Cluster {
-        let mut net = Ethernet::for_kind(cfg.network, cfg.seed);
-        net.set_faults(cfg.faults);
+        let mut net: Box<dyn Transport> = match &cfg.topology {
+            None => Box::new(Ethernet::for_kind(cfg.network, cfg.seed)),
+            Some(topology) => topology.build(cfg.seed),
+        };
+        // Only install an explicit plan: the default empty plan must not
+        // clobber error rates a topology carries in its own parameters
+        // (a WAN link's configured loss).
+        if !cfg.faults.is_none() {
+            net.set_faults(cfg.faults);
+        }
         net.set_collision_bug(cfg.collision_bug);
 
         let mut hosts = Vec::with_capacity(cfg.hosts.len());
         for (i, hc) in cfg.hosts.iter().enumerate() {
             let mac = MacAddr((i + 1) as u8);
-            net.register(mac);
+            net.attach(mac, hc.segment);
             let logical = hc
                 .logical_host
                 .unwrap_or_else(|| LogicalHost::from_station(mac.0));
@@ -144,9 +152,16 @@ impl Cluster {
         self.hosts[host.0].cpu.utilization(self.now())
     }
 
-    /// Medium statistics.
+    /// Medium statistics (summed across segments on multi-segment
+    /// topologies).
     pub fn medium_stats(&self) -> v_net::MediumStats {
         self.net.stats()
+    }
+
+    /// Gateway statistics, when the topology has a store-and-forward
+    /// gateway ([`v_net::Topology::Internetwork`]).
+    pub fn gateway_stats(&self) -> Option<v_net::GatewayStats> {
+        self.net.gateway_stats()
     }
 
     /// Looks at a process's address space (testing / verification aid).
@@ -305,7 +320,7 @@ impl Cluster {
     pub(crate) fn ctx(&mut self, host: HostId) -> Ctx<'_> {
         Ctx {
             host: &mut self.hosts[host.0],
-            net: &mut self.net,
+            net: self.net.as_mut(),
             queue: &mut self.queue,
             proto: &self.cfg.protocol,
             host_id: host,

@@ -1,6 +1,6 @@
 //! Cluster and protocol configuration.
 
-use v_net::{CollisionBug, FaultPlan, NetworkKind};
+use v_net::{CollisionBug, FaultPlan, InternetworkConfig, LinkParams, NetworkKind, Topology};
 use v_sim::SimDuration;
 
 use crate::cpu::CpuSpeed;
@@ -77,6 +77,16 @@ pub struct ProtocolConfig {
     pub housekeeping: SimDuration,
     /// Packet encapsulation.
     pub encapsulation: Encapsulation,
+    /// §3.4 appended segments: the first part of a read-granted segment
+    /// rides in the Send packet. Disabling reproduces the unmodified
+    /// (Thoth-style) kernel for ablation experiments.
+    pub appended_segments: bool,
+    /// Reply caching: replied aliens retain the encoded reply packet for
+    /// `alien_keep` so retransmissions of a completed exchange are
+    /// answered without re-executing the receiver. Disabling (the
+    /// "alien keep = 0" ablation) frees descriptors immediately, so a
+    /// lost reply costs a full re-delivery.
+    pub reply_caching: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -98,6 +108,8 @@ impl Default for ProtocolConfig {
             getpid_retries: 3,
             housekeeping: SimDuration::from_millis(1000),
             encapsulation: Encapsulation::Raw,
+            appended_segments: true,
+            reply_caching: true,
         }
     }
 }
@@ -110,14 +122,27 @@ pub struct HostConfig {
     /// Logical host identifier; `None` assigns one from the station
     /// address by the 3 Mb convention.
     pub logical_host: Option<LogicalHost>,
+    /// Which network segment this host attaches to. Only meaningful for
+    /// [`Topology::Internetwork`]; single-segment topologies ignore it.
+    pub segment: usize,
 }
 
 impl HostConfig {
-    /// A host with the given CPU and an auto-assigned logical host id.
+    /// A host with the given CPU and an auto-assigned logical host id on
+    /// segment 0.
     pub fn new(cpu: CpuSpeed) -> HostConfig {
         HostConfig {
             cpu,
             logical_host: None,
+            segment: 0,
+        }
+    }
+
+    /// A host attached to a specific network segment.
+    pub fn on_segment(cpu: CpuSpeed, segment: usize) -> HostConfig {
+        HostConfig {
+            segment,
+            ..HostConfig::new(cpu)
         }
     }
 }
@@ -125,15 +150,23 @@ impl HostConfig {
 /// Whole-cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Which physical network to simulate.
+    /// Which physical network to simulate when `topology` is `None`
+    /// (the paper's single shared segment).
     pub network: NetworkKind,
+    /// Explicit network topology. `None` means one shared Ethernet
+    /// segment of the `network` flavour — the paper's configuration and
+    /// the default for every existing experiment.
+    pub topology: Option<Topology>,
     /// pid → station addressing scheme.
     pub addressing: AddressingMode,
     /// The workstations, in station-address order (station `i + 1`).
     pub hosts: Vec<HostConfig>,
     /// Protocol parameters.
     pub protocol: ProtocolConfig,
-    /// Medium fault injection.
+    /// Medium fault injection. The empty plan means "unset": it leaves
+    /// any error rates the topology carries in its own parameters (a WAN
+    /// link's configured loss) in effect — to run a clean control arm on
+    /// a lossy topology, build the topology without loss instead.
     pub faults: FaultPlan,
     /// The §5.4 collision-detection hardware bug.
     pub collision_bug: Option<CollisionBug>,
@@ -147,6 +180,7 @@ impl ClusterConfig {
     pub fn three_mb() -> ClusterConfig {
         ClusterConfig {
             network: NetworkKind::Experimental3Mb,
+            topology: None,
             addressing: AddressingMode::Direct,
             hosts: Vec::new(),
             protocol: ProtocolConfig::default(),
@@ -166,6 +200,24 @@ impl ClusterConfig {
         }
     }
 
+    /// Two workstations joined by a point-to-point WAN link — the
+    /// off-segment regime the paper never measured.
+    pub fn wan(params: LinkParams) -> ClusterConfig {
+        ClusterConfig {
+            topology: Some(Topology::PointToPoint(params)),
+            ..ClusterConfig::three_mb()
+        }
+    }
+
+    /// Ethernet segments joined by a store-and-forward gateway; place
+    /// hosts with [`ClusterConfig::with_host_on`].
+    pub fn internetwork(topo: InternetworkConfig) -> ClusterConfig {
+        ClusterConfig {
+            topology: Some(Topology::Internetwork(topo)),
+            ..ClusterConfig::three_mb()
+        }
+    }
+
     /// Adds a host; returns `self` for chaining.
     pub fn with_host(mut self, cpu: CpuSpeed) -> Self {
         self.hosts.push(HostConfig::new(cpu));
@@ -177,6 +229,12 @@ impl ClusterConfig {
         for _ in 0..n {
             self.hosts.push(HostConfig::new(cpu));
         }
+        self
+    }
+
+    /// Adds a host on a specific segment of an internetwork topology.
+    pub fn with_host_on(mut self, cpu: CpuSpeed, segment: usize) -> Self {
+        self.hosts.push(HostConfig::on_segment(cpu, segment));
         self
     }
 }
@@ -192,6 +250,25 @@ mod tests {
         assert!(p.max_data_per_packet >= 512);
         assert!(p.alien_pool > 0);
         assert_eq!(p.encapsulation, Encapsulation::Raw);
+        assert!(p.appended_segments, "paper's kernel appends segments");
+        assert!(p.reply_caching, "paper's kernel caches replies");
+    }
+
+    #[test]
+    fn topology_builders() {
+        let wan = ClusterConfig::wan(v_net::LinkParams::T1);
+        assert!(matches!(wan.topology, Some(Topology::PointToPoint(_))));
+
+        let inet = ClusterConfig::internetwork(InternetworkConfig::two_segments())
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 0)
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 1);
+        assert!(matches!(inet.topology, Some(Topology::Internetwork(_))));
+        assert_eq!(inet.hosts[0].segment, 0);
+        assert_eq!(inet.hosts[1].segment, 1);
+
+        // The paper's configurations stay single-segment.
+        assert!(ClusterConfig::three_mb().topology.is_none());
+        assert!(ClusterConfig::ten_mb().topology.is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! effect (process resume, frame transmission) at the end of the charges
 //! that produce it.
 
-use v_net::{EtherType, Ethernet, Frame};
+use v_net::{Delivery, EtherType, Frame, Transport};
 use v_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::config::ProtocolConfig;
@@ -35,7 +35,7 @@ pub(crate) struct Emitted {
 /// Split-borrow context for one host's kernel.
 pub(crate) struct Ctx<'a> {
     pub host: &'a mut Host,
-    pub net: &'a mut Ethernet,
+    pub net: &'a mut dyn Transport,
     pub queue: &'a mut EventQueue<Event>,
     pub proto: &'a ProtocolConfig,
     pub host_id: HostId,
@@ -124,16 +124,60 @@ impl Ctx<'_> {
         } else {
             bytes
         };
+        self.emit_frame(
+            t,
+            dst,
+            EtherType::INTERKERNEL,
+            payload,
+            encap.extra_tx_cost(),
+        )
+    }
+
+    /// Transmits a raw (non-interkernel) frame for a registered
+    /// [`crate::raw::RawHandler`]; returns the instant the processor is
+    /// free again.
+    pub(crate) fn emit_raw(
+        &mut self,
+        t: SimTime,
+        dst: v_net::MacAddr,
+        ethertype: EtherType,
+        payload: Vec<u8>,
+    ) -> SimTime {
+        self.emit_frame(t, dst, ethertype, payload, SimDuration::ZERO)
+            .cpu_done
+    }
+
+    /// The one transmit path every frame takes: charges the copy-in and
+    /// `extra_cost`, hands the frame to the transport, and schedules its
+    /// deliveries (direct and gateway-forwarded alike).
+    fn emit_frame(
+        &mut self,
+        t: SimTime,
+        dst: v_net::MacAddr,
+        ethertype: EtherType,
+        payload: Vec<u8>,
+        extra_cost: SimDuration,
+    ) -> Emitted {
         let wire_len = payload.len();
         // The copy into the single-buffered transmit interface cannot
         // begin until the previous frame has left it.
         let ready = self.host.nic.tx_ready_after(t);
-        let cost = self.host.costs.frame_tx_cost(wire_len) + encap.extra_tx_cost();
+        let cost = self.host.costs.frame_tx_cost(wire_len) + extra_cost;
         let span = self.host.cpu.charge(ready, cost);
-        let frame = Frame::new(dst, self.host.nic.mac(), EtherType::INTERKERNEL, payload);
+        let frame = Frame::new(dst, self.host.nic.mac(), ethertype, payload);
         let tx = self.net.transmit(span.end, frame);
         self.host.nic.note_tx(tx.tx_end, wire_len);
-        for d in &tx.deliveries {
+        self.schedule_deliveries(&tx.deliveries);
+        self.drain_forwarded();
+        Emitted {
+            cpu_done: span.end,
+            tx_end: tx.tx_end,
+        }
+    }
+
+    /// Schedules frame-arrival events for a batch of deliveries.
+    fn schedule_deliveries(&mut self, deliveries: &[Delivery]) {
+        for d in deliveries {
             let host = HostId((d.dst.0 - 1) as usize);
             self.queue.schedule(
                 d.at,
@@ -143,9 +187,14 @@ impl Ctx<'_> {
                 },
             );
         }
-        Emitted {
-            cpu_done: span.end,
-            tx_end: tx.tx_end,
+    }
+
+    /// Drains deliveries a forwarding transport (gateway) produced and
+    /// schedules them; a no-op on single-hop transports.
+    fn drain_forwarded(&mut self) {
+        let forwarded = self.net.poll_deliveries();
+        if !forwarded.is_empty() {
+            self.schedule_deliveries(&forwarded);
         }
     }
 

@@ -12,7 +12,7 @@ use v_sim::{SimDuration, SimTime};
 
 use crate::cluster::Pending;
 use crate::ctx::Ctx;
-use crate::event::{Event, HostId, TimerKind};
+use crate::event::TimerKind;
 use crate::pcb::ProcState;
 use crate::pid::Pid;
 use crate::program::Outcome;
@@ -212,24 +212,7 @@ impl crate::raw::RawCtx for RawCtxImpl<'_, '_> {
     }
 
     fn send_frame(&mut self, dst: v_net::MacAddr, payload: Vec<u8>) {
-        let wire_len = payload.len();
-        let ready = self.ctx.host.nic.tx_ready_after(self.now);
-        let cost = self.ctx.host.costs.frame_tx_cost(wire_len);
-        let span = self.ctx.host.cpu.charge(ready, cost);
-        let frame = Frame::new(dst, self.ctx.host.nic.mac(), self.ethertype, payload);
-        let tx = self.ctx.net.transmit(span.end, frame);
-        self.ctx.host.nic.note_tx(tx.tx_end, wire_len);
-        for d in &tx.deliveries {
-            let host = HostId((d.dst.0 - 1) as usize);
-            self.ctx.queue.schedule(
-                d.at,
-                Event::Frame {
-                    host,
-                    frame: d.frame.clone(),
-                },
-            );
-        }
-        self.now = span.end;
+        self.now = self.ctx.emit_raw(self.now, dst, self.ethertype, payload);
     }
 
     fn charge(&mut self, cost: SimDuration) {

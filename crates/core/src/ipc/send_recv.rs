@@ -53,10 +53,12 @@ impl Ctx<'_> {
 
             // Gather the appended segment prefix, if read access was
             // granted (§3.4's optimization: the first part of the segment
-            // rides in the Send packet).
+            // rides in the Send packet). The `appended_segments` ablation
+            // reproduces the unmodified kernel, which sends the grant
+            // unaccompanied.
             let grant = msg.segment();
             let (appended, appended_from) = match grant {
-                Some(g) if g.access.allows_read() && g.len > 0 => {
+                Some(g) if self.proto.appended_segments && g.access.allows_read() && g.len > 0 => {
                     let n = (g.len as usize)
                         .min(self.proto.max_appended_segment)
                         .min(self.proto.max_data_per_packet);
@@ -340,15 +342,23 @@ impl Ctx<'_> {
             };
             let bytes = encode(&pkt);
             let emitted = self.emit_bytes(end, bytes.clone(), to.host());
-            if let Some(a) = self.host.aliens.get_mut(to) {
-                a.state = AlienState::Replied {
-                    packet: bytes,
-                    at: emitted.cpu_done,
-                };
+            if self.proto.reply_caching {
+                if let Some(a) = self.host.aliens.get_mut(to) {
+                    a.state = AlienState::Replied {
+                        packet: bytes,
+                        at: emitted.cpu_done,
+                    };
+                }
+                self.arm_housekeeping(emitted.cpu_done);
+            } else {
+                // "Alien keep = 0" ablation: the descriptor is freed the
+                // moment the reply leaves; a retransmitted Send of this
+                // exchange will be re-admitted and re-delivered instead
+                // of being answered from the cache.
+                self.host.aliens.remove(to);
             }
             let post = self.host.costs.alien_post;
             self.charge(emitted.cpu_done, post);
-            self.arm_housekeeping(emitted.cpu_done);
             Ok(emitted.cpu_done)
         }
     }

@@ -493,6 +493,18 @@ impl Ctx<'_> {
             let sent = if complete { body.total } else { received };
             let pkt = Self::ack_packet(seq, dst, src, sent, status);
             self.emit_packet(end2, &pkt, src.host());
+            if complete && !self.proto.reply_caching {
+                // The transfer-side analog of the reply cache is the
+                // completed-transfer tombstone that re-acks duplicate
+                // final chunks; the ablation frees it immediately. A
+                // duplicate arriving after the mover resumed earns an
+                // Unknown ack it ignores; if the Complete ack itself is
+                // lost, the still-blocked mover's retransmitted final
+                // chunk finds no record, earns a Partial ack from byte 0
+                // and re-sends the whole transfer — the honest price of
+                // keeping no state.
+                self.host.in_moves.remove(&key);
+            }
         }
     }
 

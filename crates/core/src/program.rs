@@ -11,7 +11,7 @@
 //! reply arrives) are exactly preserved.
 //!
 //! Programs never see simulation internals: everything flows through the
-//! [`Api`](crate::cluster::Api) handle, which charges the calibrated
+//! [`crate::cluster::Api`] handle, which charges the calibrated
 //! processor costs for each operation.
 
 use crate::error::KernelError;

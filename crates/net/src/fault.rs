@@ -7,7 +7,24 @@
 //! that the retransmission / duplicate-suppression machinery preserves
 //! exactly-once message-exchange semantics.
 
-use v_sim::SplitMix64;
+use v_sim::{SimDuration, SplitMix64};
+
+/// Interval between a frame and its injected duplicate, shared by every
+/// transport so duplicate timing is uniform across media.
+pub(crate) const REDELIVERY_GAP: SimDuration = SimDuration::from_micros(200);
+
+/// Corrupts a handful of payload bytes so protocol checksums fail —
+/// the one corruption model every transport applies.
+pub(crate) fn scramble(rng: &mut SplitMix64, payload: &mut [u8]) {
+    if payload.is_empty() {
+        return;
+    }
+    let hits = 1 + rng.below(4) as usize;
+    for _ in 0..hits {
+        let idx = rng.below(payload.len() as u64) as usize;
+        payload[idx] ^= (1 + rng.below(255)) as u8;
+    }
+}
 
 /// Probabilistic fault plan applied to every delivery.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,337 @@
+//! Ethernet segments joined by a store-and-forward gateway.
+//!
+//! The paper's diskless workstations live on one broadcast segment; this
+//! topology is the first step past it — several [`Ethernet`] segments
+//! connected through a single gateway host that receives a frame in
+//! full on one segment, holds it in a **bounded queue**, and
+//! retransmits it on the destination segment (store and forward).
+//! Unicast frames whose destination lives on another segment cross the
+//! gateway; broadcasts are flooded to every other segment. Corrupted
+//! ingress frames are discarded at the gateway (its link-level check
+//! rejects them), and frames arriving while the queue is full are
+//! dropped — the kernel's retransmission machinery is what recovers
+//! both, exactly as it recovers medium loss.
+
+use std::collections::BTreeMap;
+
+use v_sim::{SimDuration, SimTime};
+
+use crate::fault::FaultPlan;
+use crate::frame::{Frame, MacAddr};
+use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult};
+use crate::transport::{GatewayStats, Transport};
+
+/// Configuration of a gatewayed internetwork.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternetworkConfig {
+    /// The medium flavour of each segment (index = segment number).
+    pub segments: Vec<NetworkKind>,
+    /// Bounded gateway queue: frames arriving while this many are
+    /// already waiting are dropped.
+    pub gateway_queue: usize,
+    /// Per-frame store-and-forward processing delay at the gateway.
+    pub forward_delay: SimDuration,
+}
+
+impl InternetworkConfig {
+    /// Two 3 Mb segments behind a gateway with an 8-frame queue and a
+    /// 300 µs per-frame forwarding cost.
+    pub fn two_segments() -> InternetworkConfig {
+        InternetworkConfig {
+            segments: vec![NetworkKind::Experimental3Mb; 2],
+            gateway_queue: 8,
+            forward_delay: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// The station address the gateway occupies on every segment. Reserved:
+/// hosts must not attach with it.
+pub const GATEWAY_MAC: MacAddr = MacAddr(0xFE);
+
+/// Ethernet segments joined by one store-and-forward gateway.
+#[derive(Debug)]
+pub struct Internetwork {
+    cfg: InternetworkConfig,
+    segments: Vec<Ethernet>,
+    /// Station → segment placement (deterministic iteration order).
+    placement: BTreeMap<MacAddr, usize>,
+    /// Instant the gateway's forwarding engine is next idle.
+    gw_free: SimTime,
+    /// Service-start times of accepted frames still queued or in
+    /// service; entries whose start is past are purged lazily.
+    gw_backlog: Vec<SimTime>,
+    /// Deliveries produced by forwarding, awaiting a poll.
+    pending: Vec<Delivery>,
+    gw_stats: GatewayStats,
+}
+
+impl Internetwork {
+    /// Builds the internetwork; each segment gets its own deterministic
+    /// RNG stream derived from `seed`.
+    pub fn new(cfg: InternetworkConfig, seed: u64) -> Internetwork {
+        assert!(
+            cfg.segments.len() >= 2,
+            "an internetwork needs at least two segments"
+        );
+        assert!(cfg.gateway_queue > 0, "gateway queue must hold ≥ 1 frame");
+        let mut segments = Vec::with_capacity(cfg.segments.len());
+        for (i, kind) in cfg.segments.iter().enumerate() {
+            let mut seg = Ethernet::for_kind(*kind, seed.wrapping_add(0x9E37 * (i as u64 + 1)));
+            seg.register(GATEWAY_MAC);
+            segments.push(seg);
+        }
+        Internetwork {
+            cfg,
+            segments,
+            placement: BTreeMap::new(),
+            gw_free: SimTime::ZERO,
+            gw_backlog: Vec::new(),
+            pending: Vec::new(),
+            gw_stats: GatewayStats::default(),
+        }
+    }
+
+    /// The configured topology.
+    pub fn config(&self) -> &InternetworkConfig {
+        &self.cfg
+    }
+
+    /// The segment a station is attached to, if any.
+    pub fn segment_of(&self, mac: MacAddr) -> Option<usize> {
+        self.placement.get(&mac).copied()
+    }
+
+    /// Accepts an ingress copy at the gateway and forwards it, queuing
+    /// the egress deliveries into `pending`.
+    fn gateway_ingress(&mut self, at: SimTime, frame: &Frame, from_seg: usize) {
+        // Bounded queue: entries that began service by `at` have left it.
+        self.gw_backlog.retain(|&s| s > at);
+        if self.gw_backlog.len() >= self.cfg.gateway_queue {
+            self.gw_stats.queue_drops += 1;
+            return;
+        }
+        let start = at.max(self.gw_free);
+        self.gw_backlog.push(start);
+        self.gw_stats.max_queue = self.gw_stats.max_queue.max(self.gw_backlog.len());
+
+        let targets: Vec<usize> = if frame.dst.is_broadcast() {
+            (0..self.segments.len())
+                .filter(|&s| s != from_seg)
+                .collect()
+        } else {
+            match self.placement.get(&frame.dst) {
+                Some(&seg) if seg != from_seg => vec![seg],
+                // Unknown or same-segment destination: nothing to forward
+                // (the same-segment copy was already delivered directly).
+                _ => Vec::new(),
+            }
+        };
+        let mut cursor = start + self.cfg.forward_delay;
+        for seg in targets {
+            let tx = self.segments[seg].transmit(cursor, frame.clone());
+            cursor = tx.tx_end;
+            self.gw_free = tx.tx_end;
+            self.gw_stats.forwarded += 1;
+            for d in tx.deliveries {
+                // The gateway's own copy on the egress segment must not
+                // re-enter forwarding (single gateway: routing is done).
+                if d.dst != GATEWAY_MAC {
+                    self.pending.push(d);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for Internetwork {
+    fn attach(&mut self, mac: MacAddr, segment: usize) {
+        assert!(
+            mac != GATEWAY_MAC,
+            "station address {GATEWAY_MAC} is reserved for the gateway"
+        );
+        assert!(
+            segment < self.segments.len(),
+            "segment {segment} does not exist (topology has {})",
+            self.segments.len()
+        );
+        self.placement.insert(mac, segment);
+        self.segments[segment].register(mac);
+    }
+
+    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+        let from_seg = *self
+            .placement
+            .get(&frame.src)
+            .expect("transmitting station is not attached to any segment");
+        let tx = self.segments[from_seg].transmit(ready, frame.clone());
+        let mut local = Vec::with_capacity(tx.deliveries.len());
+        for d in tx.deliveries {
+            if d.dst == GATEWAY_MAC || self.segment_of(d.dst) != Some(from_seg) {
+                // Ingress copy for the gateway: a broadcast copy addressed
+                // to it, or a unicast whose destination lives elsewhere
+                // (the segment medium timed its arrival; the gateway
+                // stands on this segment and hears it then).
+                if d.corrupted {
+                    self.gw_stats.corrupt_drops += 1;
+                } else {
+                    self.gateway_ingress(d.at, &frame, from_seg);
+                }
+            } else {
+                local.push(d);
+            }
+        }
+        TxResult {
+            tx_start: tx.tx_start,
+            tx_end: tx.tx_end,
+            deliveries: local,
+        }
+    }
+
+    fn poll_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn stats(&self) -> MediumStats {
+        let mut total = MediumStats::default();
+        for seg in &self.segments {
+            total.absorb(&seg.stats());
+        }
+        total
+    }
+
+    fn max_payload(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.params().max_payload)
+            .min()
+            .expect("at least two segments")
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        for seg in &mut self.segments {
+            seg.set_faults(plan);
+        }
+    }
+
+    fn set_collision_bug(&mut self, bug: Option<CollisionBug>) {
+        for seg in &mut self.segments {
+            seg.set_collision_bug(bug);
+        }
+    }
+
+    fn gateway_stats(&self) -> Option<GatewayStats> {
+        Some(self.gw_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::EtherType;
+
+    fn frame(dst: MacAddr, src: MacAddr, len: usize) -> Frame {
+        Frame::new(dst, src, EtherType::RAW_BENCH, vec![0xC3; len])
+    }
+
+    /// Two segments: station 1 on segment 0, stations 2 and 3 on 1.
+    fn net() -> Internetwork {
+        let mut n = Internetwork::new(InternetworkConfig::two_segments(), 42);
+        n.attach(MacAddr(1), 0);
+        n.attach(MacAddr(2), 1);
+        n.attach(MacAddr(3), 1);
+        n
+    }
+
+    fn polled(n: &mut Internetwork) -> Vec<Delivery> {
+        n.poll_deliveries()
+    }
+
+    #[test]
+    fn same_segment_unicast_stays_direct() {
+        let mut n = net();
+        let r = n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(2), 64));
+        assert_eq!(r.deliveries.len(), 1);
+        assert_eq!(r.deliveries[0].dst, MacAddr(3));
+        assert!(polled(&mut n).is_empty());
+        assert_eq!(n.gateway_stats().unwrap().forwarded, 0);
+    }
+
+    #[test]
+    fn cross_segment_unicast_is_forwarded_and_later() {
+        let mut n = net();
+        let direct = n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(2), 64));
+        let mut n = net();
+        let r = n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
+        assert!(r.deliveries.is_empty(), "no same-segment receiver");
+        let fwd = polled(&mut n);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].dst, MacAddr(2));
+        assert!(
+            fwd[0].at > direct.deliveries[0].at,
+            "store-and-forward must add latency: {:?} vs {:?}",
+            fwd[0].at,
+            direct.deliveries[0].at
+        );
+        assert_eq!(n.gateway_stats().unwrap().forwarded, 1);
+    }
+
+    #[test]
+    fn broadcast_floods_every_segment_once() {
+        let mut n = net();
+        let r = n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
+        // Segment 0 has only the sender (plus the gateway), so no direct
+        // receivers.
+        assert!(r.deliveries.is_empty());
+        let mut dsts: Vec<u8> = polled(&mut n).iter().map(|d| d.dst.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![2, 3]);
+    }
+
+    #[test]
+    fn bounded_queue_drops_bursts() {
+        let mut cfg = InternetworkConfig::two_segments();
+        cfg.gateway_queue = 1;
+        let mut n = Internetwork::new(cfg, 9);
+        n.attach(MacAddr(1), 0);
+        n.attach(MacAddr(2), 1);
+        // A burst of back-to-back cross-segment frames: the 3 Mb egress
+        // segment drains slower than the ingress segment feeds.
+        for _ in 0..20 {
+            let r = n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 1024));
+            let _ = r;
+        }
+        let g = n.gateway_stats().unwrap();
+        assert!(g.queue_drops > 0, "burst must overflow the 1-frame queue");
+        assert!(g.forwarded > 0, "some frames still get through");
+        let fwd = polled(&mut n);
+        assert_eq!(fwd.len() as u64, g.forwarded);
+    }
+
+    #[test]
+    fn corrupted_ingress_is_dropped_at_the_gateway() {
+        let mut n = net();
+        n.set_faults(FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::NONE
+        });
+        n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
+        assert!(polled(&mut n).is_empty());
+        assert_eq!(n.gateway_stats().unwrap().corrupt_drops, 1);
+    }
+
+    #[test]
+    fn stats_sum_across_segments() {
+        let mut n = net();
+        n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
+        // Ingress transmit on segment 0 plus gateway egress on segment 1.
+        assert_eq!(n.stats().frames_sent, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for the gateway")]
+    fn gateway_address_cannot_be_attached() {
+        let mut n = net();
+        n.attach(GATEWAY_MAC, 0);
+    }
+}

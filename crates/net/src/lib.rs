@@ -26,13 +26,25 @@
 //! Processor copy costs (memory ↔ interface) are charged by the kernel's
 //! cost model, not here: they depend on the CPU speed, and the paper's
 //! network-penalty analysis splits them out explicitly.
+//!
+//! Beyond the paper's single segment, the crate exposes a pluggable
+//! [`Transport`] boundary: the shared [`Ethernet`] is one implementation,
+//! [`PointToPointLink`] models a lossy WAN line, and [`Internetwork`]
+//! joins several Ethernet segments through a store-and-forward gateway
+//! with a bounded queue. A [`Topology`] value describes which to build.
 
 pub mod fault;
 pub mod frame;
+pub mod internet;
+pub mod link;
 pub mod medium;
 pub mod nic;
+pub mod transport;
 
 pub use fault::FaultPlan;
 pub use frame::{EtherType, Frame, MacAddr};
+pub use internet::{Internetwork, InternetworkConfig, GATEWAY_MAC};
+pub use link::{LinkParams, PointToPointLink};
 pub use medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetParams, NetworkKind, TxResult};
 pub use nic::Nic;
+pub use transport::{GatewayStats, Topology, Transport};

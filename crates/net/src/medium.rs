@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use v_sim::{SimDuration, SimTime, SplitMix64};
 
-use crate::fault::{Fate, FaultPlan};
+use crate::fault::{scramble, Fate, FaultPlan, REDELIVERY_GAP};
 use crate::frame::{Frame, MacAddr};
 
 /// Which physical network flavour to simulate.
@@ -122,6 +122,9 @@ pub struct MediumStats {
     pub corrupted: u64,
     /// Duplicate deliveries produced by fault injection.
     pub duplicated: u64,
+    /// Deliveries held back past a later frame (point-to-point links
+    /// only; a shared segment cannot reorder).
+    pub reordered: u64,
     /// Transmissions that had to defer because the medium was busy.
     pub deferrals: u64,
     /// Frames corrupted by the collision-detection bug.
@@ -131,7 +134,42 @@ pub struct MediumStats {
 }
 
 impl MediumStats {
+    /// Accumulates another counter set into this one (used to total
+    /// multi-segment topologies).
+    pub fn absorb(&mut self, o: &MediumStats) {
+        // Exhaustive destructuring: adding a counter to the struct
+        // without totalling it here is a compile error, not a silent
+        // under-report in multi-segment topologies.
+        let MediumStats {
+            frames_sent,
+            bytes_sent,
+            deliveries,
+            dropped,
+            corrupted,
+            duplicated,
+            reordered,
+            deferrals,
+            bug_corruptions,
+            busy,
+        } = *o;
+        self.frames_sent += frames_sent;
+        self.bytes_sent += bytes_sent;
+        self.deliveries += deliveries;
+        self.dropped += dropped;
+        self.corrupted += corrupted;
+        self.duplicated += duplicated;
+        self.reordered += reordered;
+        self.deferrals += deferrals;
+        self.bug_corruptions += bug_corruptions;
+        self.busy += busy;
+    }
+
     /// Fraction of `elapsed` the medium spent busy.
+    ///
+    /// Meaningful for a single medium's counters; on stats summed across
+    /// segments ([`MediumStats::absorb`]) `busy` aggregates every
+    /// segment, so this reports N × the per-segment average and can
+    /// exceed 1.0.
     pub fn utilization(&self, elapsed: SimDuration) -> f64 {
         if elapsed.is_zero() {
             0.0
@@ -180,7 +218,7 @@ impl Ethernet {
             bug: None,
             rng: SplitMix64::new(seed),
             stats: MediumStats::default(),
-            redelivery_gap: SimDuration::from_micros(200),
+            redelivery_gap: REDELIVERY_GAP,
         }
     }
 
@@ -316,25 +354,13 @@ impl Ethernet {
         frame.dst = dst;
         if corrupted {
             self.stats.corrupted += 1;
-            self.scramble(&mut frame.payload);
+            scramble(&mut self.rng, &mut frame.payload);
         }
         Delivery {
             at,
             dst,
             frame,
             corrupted,
-        }
-    }
-
-    /// Corrupts a handful of payload bytes so protocol checksums fail.
-    fn scramble(&mut self, payload: &mut [u8]) {
-        if payload.is_empty() {
-            return;
-        }
-        let hits = 1 + self.rng.below(4) as usize;
-        for _ in 0..hits {
-            let idx = self.rng.below(payload.len() as u64) as usize;
-            payload[idx] ^= (1 + self.rng.below(255)) as u8;
         }
     }
 }

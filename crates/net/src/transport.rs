@@ -1,0 +1,154 @@
+//! The pluggable transport boundary.
+//!
+//! The kernel's protocol engine emits frames and consumes deliveries; it
+//! never cares *what* carries them. [`Transport`] captures exactly that
+//! contract — attach stations, transmit frames, poll for deliveries a
+//! forwarding element produced, read statistics — so the shared Ethernet
+//! of the paper, a point-to-point WAN link and a gatewayed internetwork
+//! are interchangeable beneath the dispatch boundary.
+
+use v_sim::SimTime;
+
+use crate::fault::FaultPlan;
+use crate::frame::{Frame, MacAddr};
+use crate::internet::{Internetwork, InternetworkConfig};
+use crate::link::{LinkParams, PointToPointLink};
+use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult};
+
+/// Statistics of a store-and-forward element inside a transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Frames forwarded onto another segment (one count per egress copy).
+    pub forwarded: u64,
+    /// Ingress frames discarded because the bounded queue was full.
+    pub queue_drops: u64,
+    /// Ingress frames discarded because they arrived corrupted (a real
+    /// gateway's link-level CRC check rejects them before forwarding).
+    pub corrupt_drops: u64,
+    /// Largest number of frames ever waiting in the queue at once.
+    pub max_queue: usize,
+}
+
+/// A medium that moves frames between attached stations.
+///
+/// A transmission returns its transmit window plus the deliveries it
+/// directly produces; transports with a forwarding element (gateways)
+/// additionally accumulate *forwarded* deliveries, which callers drain
+/// with [`Transport::poll_deliveries`] after each transmit. Every
+/// delivery carries its own arrival instant, so callers simply schedule
+/// them — ordering is the event queue's job.
+pub trait Transport {
+    /// Registers a station with the medium. `segment` places the station
+    /// on a topology with more than one (ignored by single-segment
+    /// transports).
+    fn attach(&mut self, mac: MacAddr, segment: usize);
+
+    /// Transmits `frame`, whose copy into the sending interface
+    /// completed at `ready`.
+    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult;
+
+    /// Drains deliveries produced by forwarding since the last call.
+    /// Single-hop transports always return an empty vector.
+    fn poll_deliveries(&mut self) -> Vec<Delivery>;
+
+    /// Aggregate medium statistics (summed across segments for
+    /// multi-segment topologies).
+    fn stats(&self) -> MediumStats;
+
+    /// Largest payload a frame may carry end to end.
+    fn max_payload(&self) -> usize;
+
+    /// Installs a fault plan, applied per delivery (on every segment for
+    /// multi-segment topologies).
+    fn set_faults(&mut self, plan: FaultPlan);
+
+    /// Enables the §5.4 collision-detection hardware bug on transports
+    /// that model a shared medium; a no-op elsewhere.
+    fn set_collision_bug(&mut self, _bug: Option<CollisionBug>) {}
+
+    /// Statistics of the forwarding element, for transports that have
+    /// one.
+    fn gateway_stats(&self) -> Option<GatewayStats> {
+        None
+    }
+}
+
+/// A buildable description of a network topology — the configuration
+/// counterpart of [`Transport`].
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// One shared Ethernet segment (the paper's world).
+    SingleSegment(NetworkKind),
+    /// A point-to-point WAN link between exactly two stations.
+    PointToPoint(LinkParams),
+    /// Ethernet segments joined by a store-and-forward gateway.
+    Internetwork(InternetworkConfig),
+}
+
+impl Topology {
+    /// Builds the transport this topology describes.
+    pub fn build(&self, seed: u64) -> Box<dyn Transport> {
+        match self {
+            Topology::SingleSegment(kind) => Box::new(Ethernet::for_kind(*kind, seed)),
+            Topology::PointToPoint(params) => Box::new(PointToPointLink::new(*params, seed)),
+            Topology::Internetwork(cfg) => Box::new(Internetwork::new(cfg.clone(), seed)),
+        }
+    }
+}
+
+impl Transport for Ethernet {
+    fn attach(&mut self, mac: MacAddr, _segment: usize) {
+        self.register(mac);
+    }
+
+    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+        Ethernet::transmit(self, ready, frame)
+    }
+
+    fn poll_deliveries(&mut self) -> Vec<Delivery> {
+        Vec::new()
+    }
+
+    fn stats(&self) -> MediumStats {
+        Ethernet::stats(self)
+    }
+
+    fn max_payload(&self) -> usize {
+        self.params().max_payload
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        Ethernet::set_faults(self, plan);
+    }
+
+    fn set_collision_bug(&mut self, bug: Option<CollisionBug>) {
+        Ethernet::set_collision_bug(self, bug);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_behind_the_trait_matches_direct_use() {
+        let mut t: Box<dyn Transport> =
+            Topology::SingleSegment(NetworkKind::Experimental3Mb).build(7);
+        t.attach(MacAddr(1), 0);
+        t.attach(MacAddr(2), 0);
+        let r = t.transmit(
+            SimTime::ZERO,
+            Frame::new(
+                MacAddr(2),
+                MacAddr(1),
+                crate::EtherType::RAW_BENCH,
+                vec![0; 64],
+            ),
+        );
+        assert_eq!(r.deliveries.len(), 1);
+        assert!(t.poll_deliveries().is_empty());
+        assert_eq!(t.stats().frames_sent, 1);
+        assert_eq!(t.max_payload(), 1100);
+        assert!(t.gateway_stats().is_none());
+    }
+}

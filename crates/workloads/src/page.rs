@@ -4,7 +4,7 @@
 //! **write** is `Send(+appended segment) — ReceiveWithSegment — Reply`.
 //! The basic Thoth forms (`...MoveTo...` / `...MoveFrom...`) are also
 //! implemented; running them in a cluster configured with
-//! `max_appended_segment = 0` reproduces the *unmodified* kernel the
+//! `appended_segments = false` reproduces the *unmodified* kernel the
 //! paper compares against ("the segment mechanism saves 3.5 ms").
 
 use v_kernel::{Access, Api, Message, Outcome, Pid, Program};
@@ -271,7 +271,7 @@ mod tests {
         let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
         if mode == PageMode::Thoth {
             // Reproduce the unmodified kernel: no appended segments.
-            cfg.protocol.max_appended_segment = 0;
+            cfg.protocol.appended_segments = false;
         }
         let mut cl = Cluster::new(cfg);
         let rep = probe(RunReport::default());

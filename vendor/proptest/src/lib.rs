@@ -38,6 +38,29 @@ impl ProptestConfig {
     }
 }
 
+/// The sampler state requested via the `PROPTEST_SEED` environment
+/// variable (hex with an `0x` prefix, or decimal), if any. Failure
+/// messages print the failing case's state in this form; running one
+/// property with `PROPTEST_SEED=<state> PROPTEST_CASES=1` replays
+/// exactly that case.
+///
+/// # Panics
+///
+/// Panics on a malformed value: a replay that silently fell back to the
+/// default seed would run different cases and report a false pass.
+pub fn seed_override() -> Option<u64> {
+    let v = std::env::var("PROPTEST_SEED").ok()?;
+    let v = v.trim();
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    };
+    Some(parsed.unwrap_or_else(|| {
+        panic!("PROPTEST_SEED={v:?} is not a valid seed (expected 0x-prefixed hex or decimal)")
+    }))
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
@@ -60,6 +83,20 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         TestRng(h)
+    }
+
+    /// Rebuilds a sampler from a previously reported state — the replay
+    /// handle a failure message prints as its "seed".
+    pub fn from_state(state: u64) -> Self {
+        TestRng(state)
+    }
+
+    /// The sampler's current state. Captured before each case so a
+    /// failure can be replayed exactly (the shim does no shrinking, so
+    /// this seed plus the printed inputs are the starting point for
+    /// manual minimization).
+    pub fn state(&self) -> u64 {
+        self.0
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -366,16 +403,27 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = match $crate::seed_override() {
+                Some(state) => $crate::TestRng::from_state(state),
+                None => $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name))),
+            };
             for __case in 0..config.effective_cases() {
+                let __seed = rng.state();
                 let mut __dbg: Vec<(&str, String)> = Vec::new();
                 $crate::__proptest_bind!(rng __dbg; $($args)*);
                 let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
                 if let Err(payload) = __outcome {
-                    eprintln!("proptest case {__case} of {} failed with inputs:", stringify!($name));
+                    eprintln!(
+                        "proptest case {__case} of {} failed (seed 0x{__seed:016x}) with inputs:",
+                        stringify!($name)
+                    );
                     for (name, value) in &__dbg {
                         eprintln!("    {name} = {value}");
                     }
+                    eprintln!(
+                        "  replay just this case with PROPTEST_SEED=0x{__seed:016x} PROPTEST_CASES=1 \
+                         (no shrinking: minimize from these inputs manually)"
+                    );
                     ::std::panic::resume_unwind(payload);
                 }
             }
@@ -404,6 +452,21 @@ mod self_tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_replays_a_case_exactly() {
+        let mut a = TestRng::deterministic("replay");
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        // Capture the state mid-stream (as the runner does before each
+        // case) and replay from it.
+        let seed = a.state();
+        let expected: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let mut b = TestRng::from_state(seed);
+        let replayed: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(expected, replayed);
     }
 
     proptest! {
