@@ -8,6 +8,7 @@
 mod ablations;
 mod fileserver;
 mod multi;
+mod shard;
 mod table_4_1;
 mod table_5;
 mod table_6_1;
@@ -21,6 +22,7 @@ pub use ablations::{
 };
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;
+pub use shard::{shard_placement, shard_with_rounds};
 pub use table_4_1::{network_penalty, network_penalty_with_rounds};
 pub use table_5::kernel_performance;
 pub use table_6_1::page_access;
@@ -88,6 +90,39 @@ pub(crate) fn run_client_server(
 /// A 2-host cluster of the paper's main (3 Mb) configuration.
 pub(crate) fn pair_3mb(speed: CpuSpeed) -> Cluster {
     Cluster::new(ClusterConfig::three_mb().with_hosts(2, speed))
+}
+
+/// Runs `rounds` 512-byte page reads (server on host 1, client on
+/// host 0, segment mode) and returns mean ms per read. Shared by the
+/// WAN and shard-placement experiments, and deliberately identical in
+/// procedure to the Table 6-1 remote-read loop so cross-topology rows
+/// stay comparable.
+pub(crate) fn run_page_reads(mut cl: Cluster, rounds: u64) -> f64 {
+    use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
+    let rep = probe(RunReport::default());
+    let server = cl.spawn(
+        HostId(1),
+        "pageserver",
+        Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, rep.clone())),
+    );
+    cl.run();
+    let crep = probe(RunReport::default());
+    cl.spawn(
+        HostId(0),
+        "pageclient",
+        Box::new(PageClient::new(
+            server,
+            PageOp::Read,
+            512,
+            rounds,
+            0x7E,
+            crep.clone(),
+        )),
+    );
+    cl.run();
+    let r = crep.borrow().clone();
+    assert!(r.clean(), "page-read loop failed: {r:?}");
+    r.per_op_ms()
 }
 
 /// A 2-host cluster on the 10 Mb standard Ethernet (§8).

@@ -15,11 +15,10 @@ use v_kernel::{Cluster, ClusterConfig, CpuSpeed, HostId, KernelStats};
 use v_net::{InternetworkConfig, LinkParams};
 use v_workloads::echo::{EchoServer, Pinger};
 use v_workloads::measure::{probe, RunReport};
-use v_workloads::page::{PageClient, PageMode, PageOp, PageServer};
 
 use crate::report::Comparison;
 
-use super::pair_3mb;
+use super::{pair_3mb, run_page_reads};
 
 /// Runs `rounds` remote exchanges (echo on host 1, pinger on host 0);
 /// returns mean ms per exchange and the finished cluster for stats.
@@ -36,34 +35,6 @@ fn run_exchange(mut cl: Cluster, rounds: u64) -> (f64, Cluster) {
     let r = rep.borrow().clone();
     assert!(r.clean(), "exchange loop failed: {r:?}");
     (r.per_op_ms(), cl)
-}
-
-/// Runs `rounds` 512-byte page reads (server on host 1).
-fn run_page_reads(mut cl: Cluster, rounds: u64) -> f64 {
-    let rep = probe(RunReport::default());
-    let server = cl.spawn(
-        HostId(1),
-        "pageserver",
-        Box::new(PageServer::new(PageMode::Segment, 512, 0x7E, rep.clone())),
-    );
-    cl.run();
-    let crep = probe(RunReport::default());
-    cl.spawn(
-        HostId(0),
-        "pageclient",
-        Box::new(PageClient::new(
-            server,
-            PageOp::Read,
-            512,
-            rounds,
-            0x7E,
-            crep.clone(),
-        )),
-    );
-    cl.run();
-    let r = crep.borrow().clone();
-    assert!(r.clean(), "page-read loop failed: {r:?}");
-    r.per_op_ms()
 }
 
 /// A client on segment 0 and a server on segment 1 of a two-segment
@@ -93,7 +64,7 @@ pub fn wan_with_rounds(rounds: u64) -> Comparison {
     // Message exchange: one segment vs across the gateway.
     let (seg_ms, _) = run_exchange(pair_3mb(speed), rounds);
     let (gw_ms, gw_cl) = run_exchange(gateway_pair(speed), rounds);
-    let g = gw_cl.gateway_stats().expect("gateway topology");
+    let g = gw_cl.gateway_stats_total().expect("gateway topology");
     c.push_ours("remote exchange, one 3 Mb segment", seg_ms, "ms");
     c.push_ours("remote exchange, across gateway", gw_ms, "ms");
     c.push_ours("added gateway hop latency", gw_ms - seg_ms, "ms");

@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|ablate]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|ablate]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -14,10 +14,10 @@
 //! `--check PCT` exits nonzero if any produced table's worst deviation
 //! from the paper exceeds `PCT` percent — the CI regression gate.
 //!
-//! `--smoke` runs Table 4-1 with a tiny round count: a cheap end-to-end
-//! exercise of the experiment pipeline for CI, not a measurement. It
-//! cannot be combined with experiment ids, but accepts `--json` /
-//! `--check`.
+//! `--smoke` runs Table 4-1, the WAN table and the shard-placement
+//! table with tiny round counts: a cheap end-to-end exercise of the
+//! experiment pipeline for CI, not a measurement. It cannot be combined
+//! with experiment ids, but accepts `--json` / `--check`.
 
 use std::path::PathBuf;
 
@@ -41,6 +41,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "wfs" => exp::wfs_comparison(),
         "streaming" => exp::streaming_comparison(),
         "wan" => exp::wan_topologies(),
+        "shard" => exp::shard_placement(),
         "ablate" => exp::protocol_ablations(),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -49,7 +50,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "4-1",
     "5-1",
     "5-2",
@@ -64,6 +65,7 @@ const ALL: [&str; 15] = [
     "wfs",
     "streaming",
     "wan",
+    "shard",
     "ablate",
 ];
 
@@ -161,11 +163,14 @@ fn main() {
         let mut ok = process(&c, "4-1", &opts);
         let w = exp::wan_with_rounds(60);
         ok &= process(&w, "wan", &opts);
+        let s = exp::shard_with_rounds(40);
+        ok &= process(&s, "shard", &opts);
         if !ok {
             std::process::exit(2);
         }
         println!(
-            "smoke OK: Table 4-1 and WAN pipelines ran end to end (tiny rounds, not a measurement)"
+            "smoke OK: Table 4-1, WAN and shard pipelines ran end to end \
+             (tiny rounds, not a measurement)"
         );
         return;
     }

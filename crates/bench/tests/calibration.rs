@@ -177,6 +177,41 @@ fn wan_topologies_show_hop_latency_and_loss_recovery() {
 }
 
 #[test]
+fn shard_placement_orders_by_hops_and_preserves_the_baseline() {
+    let c = exp::shard_with_rounds(100);
+    let same = metric_of(&c, "page read 512 B, same segment (mesh)");
+    let one = metric_of(&c, "page read 512 B, 1 hop");
+    let two = metric_of(&c, "page read 512 B, 2 hops");
+    assert!(
+        same < one && one < two,
+        "hop latency must be strictly ordered: {same:.3} / {one:.3} / {two:.3} ms"
+    );
+    // Bit-identical: standing up the mesh around the segment must not
+    // move the paper's single-segment number by even one event. Exact
+    // float equality is the assertion — any perturbation is a bug.
+    let perturbation = metric_of(&c, "mesh perturbation of baseline");
+    assert_eq!(
+        perturbation, 0.0,
+        "mesh fabric perturbed the single-segment baseline by {perturbation} ms"
+    );
+    // Identical segments and per-hop costs: the two hop increments match.
+    let hop1 = metric_of(&c, "per-hop cost, first hop");
+    let hop2 = metric_of(&c, "per-hop cost, second hop");
+    assert!((hop1 - hop2).abs() < 1e-9, "hops differ: {hop1} vs {hop2}");
+
+    // Server locality dominates: partitioned placement beats hauling
+    // every page across the mesh, and keeps the gateways idle.
+    let central = metric_of(&c, "centralized placement: page read");
+    let part = metric_of(&c, "partitioned placement: page read");
+    assert!(
+        part < central,
+        "partitioned {part:.3} ≥ centralized {central:.3}"
+    );
+    assert_eq!(metric_of(&c, "partitioned gateway frames forwarded"), 0.0);
+    assert!(metric_of(&c, "centralized gateway frames forwarded") > 0.0);
+}
+
+#[test]
 fn protocol_ablations_quantify_their_mechanisms() {
     let c = exp::protocol_ablations();
     assert!(

@@ -68,7 +68,15 @@ pub struct Cluster {
 
 impl Cluster {
     /// Builds a cluster from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration places a host on a segment the
+    /// topology does not have (see [`ClusterConfig::validate`]).
     pub fn new(cfg: ClusterConfig) -> Cluster {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cluster configuration: {e}");
+        }
         let mut net: Box<dyn Transport> = match &cfg.topology {
             None => Box::new(Ethernet::for_kind(cfg.network, cfg.seed)),
             Some(topology) => topology.build(cfg.seed),
@@ -158,9 +166,16 @@ impl Cluster {
         self.net.stats()
     }
 
-    /// Gateway statistics, when the topology has a store-and-forward
-    /// gateway ([`v_net::Topology::Internetwork`]).
-    pub fn gateway_stats(&self) -> Option<v_net::GatewayStats> {
+    /// Per-gateway statistics, one entry per gateway in placement order
+    /// ([`v_net::Topology::Mesh`] / [`v_net::Topology::Internetwork`]).
+    /// Empty when the topology has no store-and-forward element.
+    pub fn gateway_stats(&self) -> Vec<v_net::GatewayStats> {
+        self.net.per_gateway_stats()
+    }
+
+    /// Gateway statistics summed across all gateways, when the topology
+    /// has any.
+    pub fn gateway_stats_total(&self) -> Option<v_net::GatewayStats> {
         self.net.gateway_stats()
     }
 

@@ -1,6 +1,8 @@
 //! Cluster and protocol configuration.
 
-use v_net::{CollisionBug, FaultPlan, InternetworkConfig, LinkParams, NetworkKind, Topology};
+use v_net::{
+    CollisionBug, FaultPlan, InternetworkConfig, LinkParams, MeshConfig, NetworkKind, Topology,
+};
 use v_sim::SimDuration;
 
 use crate::cpu::CpuSpeed;
@@ -218,6 +220,15 @@ impl ClusterConfig {
         }
     }
 
+    /// Ethernet segments joined by a routed mesh of gateways; place
+    /// hosts with [`ClusterConfig::with_host_on`].
+    pub fn mesh(topo: MeshConfig) -> ClusterConfig {
+        ClusterConfig {
+            topology: Some(Topology::Mesh(topo)),
+            ..ClusterConfig::three_mb()
+        }
+    }
+
     /// Adds a host; returns `self` for chaining.
     pub fn with_host(mut self, cpu: CpuSpeed) -> Self {
         self.hosts.push(HostConfig::new(cpu));
@@ -232,10 +243,35 @@ impl ClusterConfig {
         self
     }
 
-    /// Adds a host on a specific segment of an internetwork topology.
+    /// Adds a host on a specific segment of an internetwork or mesh
+    /// topology.
     pub fn with_host_on(mut self, cpu: CpuSpeed, segment: usize) -> Self {
         self.hosts.push(HostConfig::on_segment(cpu, segment));
         self
+    }
+
+    /// Number of network segments hosts can be placed on (1 for the
+    /// paper's single shared Ethernet).
+    pub fn num_segments(&self) -> usize {
+        self.topology.as_ref().map_or(1, Topology::num_segments)
+    }
+
+    /// Validates per-host segment placement against the topology.
+    /// [`crate::Cluster::new`] calls this and panics on the error, so a
+    /// host placed on a nonexistent segment fails loudly at build time —
+    /// with the offending host named — rather than misrouting frames.
+    pub fn validate(&self) -> Result<(), String> {
+        let segments = self.num_segments();
+        for (i, h) in self.hosts.iter().enumerate() {
+            if h.segment >= segments {
+                return Err(format!(
+                    "host {i} is placed on segment {}, but the topology has only \
+                     {segments} segment(s)",
+                    h.segment
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -266,9 +302,35 @@ mod tests {
         assert_eq!(inet.hosts[0].segment, 0);
         assert_eq!(inet.hosts[1].segment, 1);
 
+        let mesh = ClusterConfig::mesh(MeshConfig::line(3))
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 0)
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 2);
+        assert!(matches!(mesh.topology, Some(Topology::Mesh(_))));
+        assert_eq!(mesh.num_segments(), 3);
+
         // The paper's configurations stay single-segment.
         assert!(ClusterConfig::three_mb().topology.is_none());
         assert!(ClusterConfig::ten_mb().topology.is_none());
+    }
+
+    #[test]
+    fn placement_validation_names_the_offending_host() {
+        let ok = ClusterConfig::mesh(MeshConfig::line(3))
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 0)
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 2);
+        assert!(ok.validate().is_ok());
+
+        let bad = ClusterConfig::mesh(MeshConfig::line(3))
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 0)
+            .with_host_on(CpuSpeed::Mc68000At8MHz, 3);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("host 1"), "{err}");
+        assert!(err.contains("segment 3"), "{err}");
+
+        // Single-segment topologies only accept segment 0.
+        let single = ClusterConfig::three_mb().with_host_on(CpuSpeed::Mc68000At8MHz, 1);
+        assert!(single.validate().is_err());
+        assert_eq!(ClusterConfig::three_mb().num_segments(), 1);
     }
 
     #[test]

@@ -115,7 +115,7 @@ fn exchanges_cross_the_gateway_with_added_latency() {
         gw_done > direct_done,
         "store-and-forward must cost time: {gw_done:?} vs {direct_done:?}"
     );
-    let g = gw.gateway_stats().expect("gateway topology");
+    let g = gw.gateway_stats_total().expect("gateway topology");
     // Two packets per exchange, each crossing the gateway once.
     assert_eq!(g.forwarded, 2 * n as u64);
     assert_eq!(g.queue_drops, 0, "clean run must not overflow the queue");
@@ -158,7 +158,7 @@ fn ipc_handlers_survive_gateway_queue_overflow() {
         assert_eq!(log.len(), 30, "{log:?}");
         assert!(log.iter().all(|l| l.starts_with("reply:")), "{log:?}");
     }
-    let g = cluster.gateway_stats().unwrap();
+    let g = cluster.gateway_stats_total().unwrap();
     assert!(g.queue_drops > 0, "the burst must overflow a 1-frame queue");
     let retrans: u64 = (0..3)
         .map(|h| cluster.kernel_stats(HostId(h)).retransmissions)
@@ -239,7 +239,7 @@ fn bulk_transfer_streams_through_the_gateway() {
     let mut log = log.borrow().clone();
     log.sort();
     assert_eq!(log, vec!["move:true:true", "send:true"]);
-    assert!(cluster.gateway_stats().unwrap().forwarded > 0);
+    assert!(cluster.gateway_stats_total().unwrap().forwarded > 0);
 }
 
 /// Registers a logical id on one segment; a process on the other
@@ -288,4 +288,71 @@ fn broadcast_name_resolution_floods_across_segments() {
     );
     cluster.run_for(v_sim::SimDuration::from_millis(500));
     assert_eq!(log.borrow().clone(), vec!["getpid:true"]);
+}
+
+/// Client on segment 0, echo on the far segment of an `n`-segment line
+/// mesh: every hop adds latency, and every gateway on the path forwards.
+#[test]
+fn exchanges_cross_a_multi_hop_mesh_with_per_hop_latency() {
+    let n = 30;
+    let line = |segs: usize, far: usize| {
+        Cluster::new(
+            v_kernel::ClusterConfig::mesh(v_net::MeshConfig::line(segs))
+                .with_host_on(CpuSpeed::Mc68000At8MHz, 0)
+                .with_host_on(CpuSpeed::Mc68000At8MHz, far),
+        )
+    };
+    let (_, same_done, _) = run_exchanges(line(3, 0), n);
+    let (one, one_done, _) = run_exchanges(line(3, 1), n);
+    let (two, two_done, log) = run_exchanges(line(3, 2), n);
+    assert_eq!(log.len(), n as usize);
+    assert!(
+        same_done < one_done && one_done < two_done,
+        "latency must grow with hop count: {same_done:?} / {one_done:?} / {two_done:?}"
+    );
+
+    // Per-gateway accounting: on the 1-hop run only the first gateway
+    // works; on the 2-hop run both carry every packet.
+    let per = one.gateway_stats();
+    assert_eq!(per.len(), 2);
+    assert_eq!(per[0].forwarded, 2 * n as u64);
+    assert_eq!(per[1].forwarded, 0);
+    let per = two.gateway_stats();
+    assert_eq!(per[0].forwarded, 2 * n as u64);
+    assert_eq!(per[1].forwarded, 2 * n as u64);
+    assert_eq!(
+        two.gateway_stats_total().unwrap().forwarded,
+        4 * n as u64,
+        "aggregate sums the per-gateway counters"
+    );
+}
+
+/// Broadcast `GetPid` resolves across a ring mesh — a topology with a
+/// physical loop — because the flood is deduplicated per segment.
+#[test]
+fn broadcast_name_resolution_survives_a_ring_mesh() {
+    let mut cfg = v_kernel::ClusterConfig::mesh(v_net::MeshConfig::ring(4));
+    for seg in 0..4 {
+        cfg = cfg.with_host_on(CpuSpeed::Mc68000At8MHz, seg);
+    }
+    let mut cluster = Cluster::new(cfg);
+    cluster.spawn(HostId(2), "registrar", Box::new(Registrar));
+    cluster.run();
+    let log: Log = Default::default();
+    cluster.spawn(
+        HostId(0),
+        "resolver",
+        Box::new(Resolver { log: log.clone() }),
+    );
+    cluster.run_for(v_sim::SimDuration::from_millis(500));
+    assert_eq!(log.borrow().clone(), vec!["getpid:true"]);
+    // The kernels must not see duplicate queries: each host heard the
+    // flooded broadcast exactly once, so nobody filtered duplicates.
+    for h in 0..4 {
+        assert_eq!(
+            cluster.kernel_stats(HostId(h)).duplicates_filtered,
+            0,
+            "host {h} saw a duplicate flood copy"
+        );
+    }
 }

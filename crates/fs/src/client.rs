@@ -154,7 +154,7 @@ pub enum FsCall {
     },
 }
 
-/// Outcome summary of an [`FsClient`] run.
+/// Outcome summary of an [`FsClient`] / sharded-client run.
 #[derive(Debug, Clone, Default)]
 pub struct FsClientReport {
     /// Steps completed successfully.
@@ -165,11 +165,90 @@ pub struct FsClientReport {
     pub integrity_errors: u64,
     /// True once the whole script finished.
     pub done: bool,
+    /// Simulated milliseconds from the first issued operation to script
+    /// completion (0 until `done`).
+    pub elapsed_ms: f64,
 }
 
-/// Client buffer locations.
-const NAME_BUF: u32 = 0x0100;
-const DATA_BUF: u32 = 0x20000;
+/// Client buffer locations (shared with [`crate::shard::ShardedFsClient`]).
+pub(crate) const NAME_BUF: u32 = 0x0100;
+pub(crate) const DATA_BUF: u32 = 0x20000;
+
+/// Builds and sends the request for one script call to `server`,
+/// staging the name/data buffers in the calling process's space.
+/// `file` is the client's current file id (ignored by open/create).
+/// Shared by [`FsClient`] and [`crate::shard::ShardedFsClient`], which
+/// differ only in how they pick `server`.
+pub(crate) fn issue_call(api: &mut Api<'_>, call: &FsCall, file: FileId, tag: u16, server: Pid) {
+    match call {
+        FsCall::Open(name) => {
+            api.mem_write(NAME_BUF, name.as_bytes()).expect("name fits");
+            api.send(stub::open(NAME_BUF, name.len() as u32, tag), server);
+        }
+        FsCall::Create(name, size) => {
+            api.mem_write(NAME_BUF, name.as_bytes()).expect("name fits");
+            api.send(
+                stub::create(NAME_BUF, name.len() as u32, *size, tag),
+                server,
+            );
+        }
+        FsCall::ReadExpect { block, count, .. } => {
+            api.mem_fill(DATA_BUF, *count as usize, 0x00).expect("fits");
+            api.send(stub::read(file, *block, *count, DATA_BUF, tag), server);
+        }
+        FsCall::WriteFill { block, count, fill } => {
+            api.mem_fill(DATA_BUF, *count as usize, *fill)
+                .expect("fits");
+            api.send(stub::write(file, *block, *count, DATA_BUF, tag), server);
+        }
+        FsCall::QueryExpect(_) => api.send(stub::query(file, tag), server),
+        FsCall::ReadLargeExpect { block, count, .. } => {
+            api.mem_fill(DATA_BUF, *count as usize, 0x00).expect("fits");
+            api.send(
+                stub::read_large(file, *block, *count, DATA_BUF, tag),
+                server,
+            );
+        }
+    }
+}
+
+/// Verifies a reply against the call that produced it, updating the
+/// report. Returns the file id when the call was an open/create that
+/// succeeded (so callers can adopt it as the current file).
+pub(crate) fn check_reply(
+    api: &Api<'_>,
+    call: &FsCall,
+    reply: &IoReply,
+    rep: &mut FsClientReport,
+) -> Option<FileId> {
+    if reply.status != IoStatus::Ok {
+        rep.errors += 1;
+        return None;
+    }
+    let mut opened = None;
+    match call {
+        FsCall::Open(_) | FsCall::Create(_, _) => opened = Some(reply.file),
+        FsCall::QueryExpect(expect) => {
+            if reply.value != *expect {
+                rep.integrity_errors += 1;
+            }
+        }
+        FsCall::ReadExpect { count, expect, .. }
+        | FsCall::ReadLargeExpect { count, expect, .. } => {
+            let got = api.mem_read(DATA_BUF, *count as usize).expect("fits");
+            if got.iter().any(|&b| b != *expect) {
+                rep.integrity_errors += 1;
+            }
+        }
+        FsCall::WriteFill { count, .. } => {
+            if reply.value != (*count).min(BLOCK_SIZE as u32) {
+                rep.integrity_errors += 1;
+            }
+        }
+    }
+    rep.completed += 1;
+    opened
+}
 
 /// A scripted file-service client.
 pub struct FsClient {
@@ -181,6 +260,7 @@ pub struct FsClient {
     pub report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
     step: usize,
     file: FileId,
+    started: Option<v_sim::SimTime>,
 }
 
 impl FsClient {
@@ -196,88 +276,28 @@ impl FsClient {
             report,
             step: 0,
             file: FileId(0),
+            started: None,
         }
     }
 
     fn issue(&mut self, api: &mut Api<'_>) {
-        let Some(call) = self.script.get(self.step) else {
-            self.report.borrow_mut().done = true;
+        let started = *self.started.get_or_insert(api.now());
+        let Some(call) = self.script.get(self.step).cloned() else {
+            let mut rep = self.report.borrow_mut();
+            rep.done = true;
+            rep.elapsed_ms = api.now().since(started).as_millis_f64();
+            drop(rep);
             api.exit();
             return;
         };
-        let tag = self.step as u16;
-        match call.clone() {
-            FsCall::Open(name) | FsCall::Create(name, _) => {
-                api.mem_write(NAME_BUF, name.as_bytes()).expect("name fits");
-                let msg = match &self.script[self.step] {
-                    FsCall::Open(_) => stub::open(NAME_BUF, name.len() as u32, tag),
-                    FsCall::Create(_, size) => {
-                        stub::create(NAME_BUF, name.len() as u32, *size, tag)
-                    }
-                    _ => unreachable!(),
-                };
-                api.send(msg, self.server);
-            }
-            FsCall::ReadExpect { block, count, .. } => {
-                api.mem_fill(DATA_BUF, count as usize, 0x00).expect("fits");
-                api.send(
-                    stub::read(self.file, block, count, DATA_BUF, tag),
-                    self.server,
-                );
-            }
-            FsCall::WriteFill { block, count, fill } => {
-                api.mem_fill(DATA_BUF, count as usize, fill).expect("fits");
-                api.send(
-                    stub::write(self.file, block, count, DATA_BUF, tag),
-                    self.server,
-                );
-            }
-            FsCall::QueryExpect(_) => {
-                api.send(stub::query(self.file, tag), self.server);
-            }
-            FsCall::ReadLargeExpect { block, count, .. } => {
-                api.mem_fill(DATA_BUF, count as usize, 0x00).expect("fits");
-                api.send(
-                    stub::read_large(self.file, block, count, DATA_BUF, tag),
-                    self.server,
-                );
-            }
-        }
+        issue_call(api, &call, self.file, self.step as u16, self.server);
     }
 
     fn check(&mut self, api: &mut Api<'_>, reply: IoReply) {
         let call = self.script[self.step].clone();
         let mut rep = self.report.borrow_mut();
-        if reply.status != IoStatus::Ok {
-            rep.errors += 1;
-        } else {
-            match call {
-                FsCall::Open(_) | FsCall::Create(_, _) => {
-                    self.file = reply.file;
-                }
-                FsCall::QueryExpect(expect) => {
-                    if reply.value != expect {
-                        rep.integrity_errors += 1;
-                    }
-                }
-                FsCall::ReadExpect { count, expect, .. }
-                | FsCall::ReadLargeExpect { count, expect, .. } => {
-                    if reply.value != count.min(reply.value.max(count)) {
-                        // value is bytes served; short reads are caught
-                        // by the content check below anyway.
-                    }
-                    let got = api.mem_read(DATA_BUF, count as usize).expect("fits");
-                    if got.iter().any(|&b| b != expect) {
-                        rep.integrity_errors += 1;
-                    }
-                }
-                FsCall::WriteFill { count, .. } => {
-                    if reply.value != count.min(BLOCK_SIZE as u32) {
-                        rep.integrity_errors += 1;
-                    }
-                }
-            }
-            rep.completed += 1;
+        if let Some(opened) = check_reply(api, &call, &reply, &mut rep) {
+            self.file = opened;
         }
     }
 }

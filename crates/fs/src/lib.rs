@@ -19,6 +19,11 @@
 //!   read-ahead against the disk model;
 //! * [`client`] — client-side helpers that format requests and drive
 //!   multi-step operations;
+//! * [`shard`] — sharded file-service placement: a name-hash
+//!   [`ShardMap`] partitioning the directory over several servers (one
+//!   per segment of a mesh, typically), each registered under a
+//!   distinct logical id, and a [`ShardedFsClient`] that resolves and
+//!   caches the owning server per file;
 //! * [`loader`] — program loading exactly as §6.3 describes (one block
 //!   read for the header, then one large read via `MoveTo` into the new
 //!   program space) and the §7 exec server that runs programs *on* the
@@ -29,11 +34,13 @@ pub mod disk;
 pub mod loader;
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod store;
 
 pub use disk::DiskModel;
 pub use proto::{IoReply, IoRequest, IoStatus};
 pub use server::{FileServer, FileServerConfig};
+pub use shard::{spawn_shard_server, ShardMap, ShardedFsClient};
 pub use store::BlockStore;
 
 /// The file system's block (page) size, matching the paper's 512-byte

@@ -1,0 +1,481 @@
+//! Sharded file-service placement.
+//!
+//! The paper runs **one** file server on one segment; the cluster
+//! deployments that followed (shared-root NFS clusters, AutoClient
+//! farms) partition the file service across machines so most page reads
+//! stay close to the client. This module provides that arrangement on
+//! top of the ordinary V IPC — no protocol change, exactly as the paper
+//! insists file access needs none:
+//!
+//! * [`ShardMap`] — a deterministic directory partition: file *names*
+//!   hash to one of `N` shards, and each shard's [`FileServer`]
+//!   registers under a distinct well-known logical id;
+//! * [`ShardedFsClient`] — a scripted client that routes each open or
+//!   create to the owning shard by name, **caches the owning server per
+//!   file id** from the reply, and directs every later block operation
+//!   at the cached owner. Owners can be supplied directly or resolved
+//!   mesh-wide with broadcast `GetPid` (the flood crosses every gateway
+//!   of a `v_net::MeshConfig` topology);
+//! * [`spawn_shard_server`] — places one shard's server process on a
+//!   host, registered under the shard's logical id.
+
+use std::collections::HashMap;
+
+use v_kernel::{naming::Scope, Api, Cluster, HostId, Outcome, Pid, Program};
+
+use crate::client::{check_reply, issue_call, FsCall, FsClientReport};
+use crate::proto::IoReply;
+use crate::server::{FileServer, FileServerConfig};
+use crate::store::{BlockStore, FileId};
+
+/// First logical id of the sharded file-service range: shard `i`
+/// registers as `SHARD_LOGICAL_BASE + i`. Distinct from the well-known
+/// single-server ids in [`v_kernel::naming::logical`].
+pub const SHARD_LOGICAL_BASE: u32 = 0x40;
+
+/// A deterministic directory partition over `N` file-service shards.
+///
+/// Placement is by file *name* (FNV-1a), so every kernel computes the
+/// same owner with no metadata service in the loop; the owning server
+/// for an already-open file is whatever server answered the open, which
+/// the client caches per file id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` servers.
+    pub fn new(shards: usize) -> ShardMap {
+        assert!(shards >= 1, "a shard map needs at least one shard");
+        ShardMap { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a file name (FNV-1a over the bytes).
+    pub fn shard_of_name(&self, name: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % self.shards as u64) as usize
+    }
+
+    /// The well-known logical id shard `i`'s server registers under.
+    pub fn logical_id(&self, shard: usize) -> u32 {
+        assert!(shard < self.shards, "shard {shard} of {}", self.shards);
+        SHARD_LOGICAL_BASE + shard as u32
+    }
+
+    /// The file-id base shard `i`'s [`BlockStore`] should allocate from
+    /// ([`BlockStore::with_id_base`]): disjoint [`BlockStore::MAX_FILES`]
+    /// wide ranges, so a file id never collides across shards and the
+    /// owner cache in [`ShardedFsClient`] stays sound.
+    pub fn id_base(&self, shard: usize) -> u16 {
+        assert!(shard < self.shards, "shard {shard} of {}", self.shards);
+        assert!(self.shards <= 16, "id ranges cover at most 16 shards");
+        (shard * BlockStore::MAX_FILES) as u16
+    }
+
+    /// A file name that hashes to `shard`: `stem` plus the smallest
+    /// numeric suffix that lands there. Deterministic; used by tests and
+    /// benches to pin a file's placement.
+    pub fn name_for_shard(&self, shard: usize, stem: &str) -> String {
+        assert!(shard < self.shards, "shard {shard} of {}", self.shards);
+        (0u32..)
+            .map(|i| format!("{stem}.{i}"))
+            .find(|name| self.shard_of_name(name) == shard)
+            .expect("some suffix hashes to every shard")
+    }
+}
+
+/// Spawns shard `i`'s file server on `host`, registered under the
+/// shard's logical id (scope `Both`, so remote kernels resolve it by
+/// broadcast) and serving `store`.
+pub fn spawn_shard_server(
+    cl: &mut Cluster,
+    host: HostId,
+    map: &ShardMap,
+    shard: usize,
+    cfg: FileServerConfig,
+    store: BlockStore,
+) -> Pid {
+    let cfg = FileServerConfig {
+        register: Some(map.logical_id(shard)),
+        ..cfg
+    };
+    cl.spawn(
+        host,
+        &format!("fileserver-shard{shard}"),
+        Box::new(FileServer::new(cfg, store)),
+    )
+}
+
+/// How a [`ShardedFsClient`] learns the shard servers' pids.
+enum Owners {
+    /// Pids supplied up front (index = shard).
+    Given(Vec<Pid>),
+    /// Resolve each shard's logical id with broadcast `GetPid` before
+    /// running the script.
+    Resolving { resolved: Vec<Pid> },
+}
+
+/// A scripted client over a sharded file service.
+///
+/// Runs the same [`FsCall`] scripts as [`crate::client::FsClient`], but
+/// against `N` servers: opens and creates route to the shard owning the
+/// name, and the owning server is cached per returned file id so block
+/// reads and writes go straight to the right machine — the resolve cost
+/// is paid once per file, not per page.
+pub struct ShardedFsClient {
+    map: ShardMap,
+    owners: Owners,
+    script: Vec<FsCall>,
+    /// Shared results.
+    pub report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
+    step: usize,
+    file: FileId,
+    /// Owning server per file id, filled from open/create replies.
+    owner_of: HashMap<u16, Pid>,
+    /// Server the in-flight request went to.
+    target: Option<Pid>,
+    started: Option<v_sim::SimTime>,
+}
+
+impl ShardedFsClient {
+    /// A client with the shard servers' pids supplied directly.
+    pub fn with_servers(
+        servers: Vec<Pid>,
+        script: Vec<FsCall>,
+        report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
+    ) -> ShardedFsClient {
+        assert!(!servers.is_empty(), "need at least one shard server");
+        ShardedFsClient {
+            map: ShardMap::new(servers.len()),
+            owners: Owners::Given(servers),
+            script,
+            report,
+            step: 0,
+            file: FileId(0),
+            owner_of: HashMap::new(),
+            target: None,
+            started: None,
+        }
+    }
+
+    /// A client that first resolves all `shards` logical ids with
+    /// broadcast `GetPid` (flooded mesh-wide on a multi-segment
+    /// topology), then runs the script.
+    pub fn resolving(
+        shards: usize,
+        script: Vec<FsCall>,
+        report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
+    ) -> ShardedFsClient {
+        ShardedFsClient {
+            map: ShardMap::new(shards),
+            owners: Owners::Resolving {
+                resolved: Vec::new(),
+            },
+            script,
+            report,
+            step: 0,
+            file: FileId(0),
+            owner_of: HashMap::new(),
+            target: None,
+            started: None,
+        }
+    }
+
+    fn servers(&self) -> &[Pid] {
+        match &self.owners {
+            Owners::Given(s) => s,
+            Owners::Resolving { resolved } => resolved,
+        }
+    }
+
+    /// The server a block operation on the current file should go to:
+    /// the cached owner, or — when the cache is cold (an open failed,
+    /// or a script skipped its open) — the shard the file id's range
+    /// belongs to ([`ShardMap::id_base`] allocates disjoint ranges), so
+    /// a bad script degrades to a server-side error, never a panic.
+    fn owner_for_current_file(&self) -> Pid {
+        self.owner_of.get(&self.file.0).copied().unwrap_or_else(|| {
+            let shard = (self.file.0 as usize / BlockStore::MAX_FILES).min(self.map.shards() - 1);
+            self.servers()[shard]
+        })
+    }
+
+    fn issue(&mut self, api: &mut Api<'_>) {
+        let started = *self.started.get_or_insert(api.now());
+        let Some(call) = self.script.get(self.step).cloned() else {
+            let mut rep = self.report.borrow_mut();
+            rep.done = true;
+            rep.elapsed_ms = api.now().since(started).as_millis_f64();
+            drop(rep);
+            api.exit();
+            return;
+        };
+        let owner = match &call {
+            FsCall::Open(name) | FsCall::Create(name, _) => {
+                self.servers()[self.map.shard_of_name(name)]
+            }
+            _ => self.owner_for_current_file(),
+        };
+        self.target = Some(owner);
+        issue_call(api, &call, self.file, self.step as u16, owner);
+    }
+
+    fn check(&mut self, api: &mut Api<'_>, reply: IoReply) {
+        let call = self.script[self.step].clone();
+        let mut rep = self.report.borrow_mut();
+        if let Some(opened) = check_reply(api, &call, &reply, &mut rep) {
+            self.file = opened;
+            // Cache the owner: every later block operation on this file
+            // goes straight to the server that answered the open.
+            self.owner_of
+                .insert(opened.0, self.target.expect("request in flight"));
+        }
+    }
+}
+
+impl Program for ShardedFsClient {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => match &self.owners {
+                Owners::Resolving { .. } => {
+                    api.get_pid(self.map.logical_id(0), Scope::Both);
+                }
+                Owners::Given(_) => self.issue(api),
+            },
+            Outcome::GetPid(found) => {
+                let Owners::Resolving { resolved } = &mut self.owners else {
+                    api.exit();
+                    return;
+                };
+                let Some(pid) = found else {
+                    self.report.borrow_mut().errors += 1;
+                    api.exit();
+                    return;
+                };
+                resolved.push(pid);
+                if resolved.len() < self.map.shards() {
+                    let next = self.map.logical_id(resolved.len());
+                    api.get_pid(next, Scope::Both);
+                } else {
+                    self.issue(api);
+                }
+            }
+            Outcome::Send(Ok(reply)) => {
+                let reply = IoReply::decode(&reply);
+                self.check(api, reply);
+                self.step += 1;
+                self.issue(api);
+            }
+            Outcome::Send(Err(_)) => {
+                self.report.borrow_mut().errors += 1;
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskModel;
+    use crate::BLOCK_SIZE;
+    use v_kernel::{ClusterConfig, CpuSpeed};
+    use v_net::MeshConfig;
+    use v_sim::SimDuration;
+
+    #[test]
+    fn shard_map_is_deterministic_and_covers_all_shards() {
+        let map = ShardMap::new(3);
+        let mut hit = [false; 3];
+        for i in 0..32 {
+            let s = map.shard_of_name(&format!("file{i}"));
+            assert!(s < 3);
+            assert_eq!(s, map.shard_of_name(&format!("file{i}")), "deterministic");
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "names spread over every shard");
+        for s in 0..3 {
+            let name = map.name_for_shard(s, "vol");
+            assert_eq!(map.shard_of_name(&name), s);
+        }
+        assert_eq!(map.logical_id(0), SHARD_LOGICAL_BASE);
+    }
+
+    /// A 3-segment line mesh with one shard server per segment and a
+    /// client on segment 0; files pinned to each shard round-trip
+    /// through open → read → write → read, with owners resolved
+    /// mesh-wide by broadcast `GetPid`.
+    #[test]
+    fn sharded_access_works_across_a_mesh() {
+        let map = ShardMap::new(3);
+        let mut cfg = ClusterConfig::mesh(MeshConfig::line(3));
+        for seg in 0..3 {
+            cfg = cfg.with_host_on(CpuSpeed::Mc68000At10MHz, seg); // servers
+        }
+        cfg = cfg.with_host_on(CpuSpeed::Mc68000At10MHz, 0); // client
+        let mut cl = Cluster::new(cfg);
+
+        for shard in 0..3 {
+            let mut store = BlockStore::with_id_base(map.id_base(shard));
+            let name = map.name_for_shard(shard, "vol");
+            store
+                .create_with(&name, &vec![0x7E; 4 * BLOCK_SIZE])
+                .unwrap();
+            let fs_cfg = FileServerConfig {
+                disk: DiskModel::fixed(SimDuration::from_millis(1)),
+                ..FileServerConfig::default()
+            };
+            spawn_shard_server(&mut cl, HostId(shard), &map, shard, fs_cfg, store);
+        }
+        cl.run(); // let every server reach its Receive
+
+        let mut script = Vec::new();
+        for shard in 0..3 {
+            script.push(FsCall::Open(map.name_for_shard(shard, "vol")));
+            script.push(FsCall::ReadExpect {
+                block: 1,
+                count: BLOCK_SIZE as u32,
+                expect: 0x7E,
+            });
+            script.push(FsCall::WriteFill {
+                block: 2,
+                count: BLOCK_SIZE as u32,
+                fill: 0x40 + shard as u8,
+            });
+            script.push(FsCall::ReadExpect {
+                block: 2,
+                count: BLOCK_SIZE as u32,
+                expect: 0x40 + shard as u8,
+            });
+        }
+        let rep = std::rc::Rc::new(std::cell::RefCell::new(FsClientReport::default()));
+        cl.spawn(
+            HostId(3),
+            "shardclient",
+            Box::new(ShardedFsClient::resolving(3, script, rep.clone())),
+        );
+        cl.run();
+
+        let r = rep.borrow().clone();
+        assert!(r.done, "{r:?}");
+        assert_eq!(r.errors, 0, "{r:?}");
+        assert_eq!(r.integrity_errors, 0, "{r:?}");
+        assert_eq!(r.completed, 12);
+        assert!(r.elapsed_ms > 0.0);
+        // Shards 1 and 2 sit across gateways: traffic crossed the mesh.
+        assert!(cl.gateway_stats_total().unwrap().forwarded > 0);
+    }
+
+    /// A failed open followed by block operations must degrade to
+    /// server-side errors (routed by the file id's shard range), never
+    /// panic — matching `FsClient` on the same bad script.
+    #[test]
+    fn failed_open_degrades_to_errors_not_a_panic() {
+        let map = ShardMap::new(2);
+        let cfg = ClusterConfig::three_mb().with_hosts(3, CpuSpeed::Mc68000At10MHz);
+        let mut cl = Cluster::new(cfg);
+        let mut servers = Vec::new();
+        for shard in 0..2 {
+            let store = BlockStore::with_id_base(map.id_base(shard));
+            let fs_cfg = FileServerConfig {
+                disk: DiskModel::fixed(SimDuration::from_millis(1)),
+                register: None,
+                ..FileServerConfig::default()
+            };
+            servers.push(cl.spawn(
+                HostId(shard),
+                "srv",
+                Box::new(FileServer::new(fs_cfg, store)),
+            ));
+        }
+        cl.run();
+        let script = vec![
+            FsCall::Open("missing".into()),
+            FsCall::ReadExpect {
+                block: 0,
+                count: BLOCK_SIZE as u32,
+                expect: 0x00,
+            },
+        ];
+        let rep = std::rc::Rc::new(std::cell::RefCell::new(FsClientReport::default()));
+        cl.spawn(
+            HostId(2),
+            "client",
+            Box::new(ShardedFsClient::with_servers(servers, script, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow().clone();
+        assert!(r.done, "script must run to completion: {r:?}");
+        assert_eq!(r.errors, 2, "open NotFound + read NotFound: {r:?}");
+        assert_eq!(r.completed, 0);
+    }
+
+    /// The owner cache routes block operations without re-resolving:
+    /// with the wrong server supplied for a file's shard, reads would
+    /// fail — supplying the right map routes every op to the server
+    /// that owns the file.
+    #[test]
+    fn owner_cache_routes_block_ops_to_the_opening_server() {
+        let map = ShardMap::new(2);
+        let cfg = ClusterConfig::three_mb().with_hosts(3, CpuSpeed::Mc68000At10MHz);
+        let mut cl = Cluster::new(cfg);
+        let mut servers = Vec::new();
+        for shard in 0..2 {
+            let mut store = BlockStore::with_id_base(map.id_base(shard));
+            store
+                .create_with(
+                    &map.name_for_shard(shard, "f"),
+                    &vec![0x11 * (shard as u8 + 1); 2 * BLOCK_SIZE],
+                )
+                .unwrap();
+            let fs_cfg = FileServerConfig {
+                disk: DiskModel::fixed(SimDuration::from_millis(1)),
+                register: None,
+                ..FileServerConfig::default()
+            };
+            servers.push(cl.spawn(
+                HostId(shard),
+                "srv",
+                Box::new(FileServer::new(fs_cfg, store)),
+            ));
+        }
+        cl.run();
+
+        // Interleave the two files: the cache must switch owners per file.
+        let script = vec![
+            FsCall::Open(map.name_for_shard(0, "f")),
+            FsCall::ReadExpect {
+                block: 0,
+                count: BLOCK_SIZE as u32,
+                expect: 0x11,
+            },
+            FsCall::Open(map.name_for_shard(1, "f")),
+            FsCall::ReadExpect {
+                block: 0,
+                count: BLOCK_SIZE as u32,
+                expect: 0x22,
+            },
+        ];
+        let rep = std::rc::Rc::new(std::cell::RefCell::new(FsClientReport::default()));
+        cl.spawn(
+            HostId(2),
+            "client",
+            Box::new(ShardedFsClient::with_servers(servers, script, rep.clone())),
+        );
+        cl.run();
+        let r = rep.borrow().clone();
+        assert!(r.done && r.errors == 0 && r.integrity_errors == 0, "{r:?}");
+        assert_eq!(r.completed, 4);
+    }
+}

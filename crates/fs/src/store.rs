@@ -32,20 +32,55 @@ struct File {
 pub struct BlockStore {
     files: Vec<File>,
     by_name: HashMap<String, FileId>,
+    /// All ids this store hands out are offset by this base, so stores
+    /// on different servers (file-service shards) never allocate the
+    /// same id — a file id identifies its owner cluster-wide.
+    id_base: u16,
 }
 
 impl BlockStore {
+    /// Largest number of files one store may hold. Ids are allocated
+    /// from disjoint `MAX_FILES`-wide ranges per store, so in a sharded
+    /// deployment a file id identifies its owning store cluster-wide —
+    /// [`BlockStore::create`] enforces the range.
+    pub const MAX_FILES: usize = 4096;
+
     /// Creates an empty store.
     pub fn new() -> BlockStore {
         BlockStore::default()
     }
 
+    /// Creates an empty store whose file ids start at `base` (sharded
+    /// deployments give each shard a disjoint range; see
+    /// [`BlockStore::MAX_FILES`]). `base` must be range-aligned.
+    pub fn with_id_base(base: u16) -> BlockStore {
+        assert!(
+            base as usize % Self::MAX_FILES == 0,
+            "id base {base:#06x} must be a multiple of {} so shard id ranges stay disjoint",
+            Self::MAX_FILES
+        );
+        BlockStore {
+            id_base: base,
+            ..BlockStore::default()
+        }
+    }
+
     /// Creates a file with `size` zeroed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store's [`BlockStore::MAX_FILES`] id range is
+    /// exhausted — overrunning it would alias another shard's ids.
     pub fn create(&mut self, name: &str, size: usize) -> Result<FileId, StoreError> {
         if self.by_name.contains_key(name) {
             return Err(StoreError::Exists);
         }
-        let id = FileId(self.files.len() as u16);
+        assert!(
+            self.files.len() < Self::MAX_FILES,
+            "store full: {} files — ids per store are capped so shard id ranges stay disjoint",
+            Self::MAX_FILES
+        );
+        let id = FileId(self.id_base + self.files.len() as u16);
         self.files.push(File {
             name: name.to_string(),
             data: vec![0; size],
@@ -57,7 +92,9 @@ impl BlockStore {
     /// Creates a file with the given contents.
     pub fn create_with(&mut self, name: &str, data: &[u8]) -> Result<FileId, StoreError> {
         let id = self.create(name, data.len())?;
-        self.files[id.0 as usize].data.copy_from_slice(data);
+        self.files[(id.0 - self.id_base) as usize]
+            .data
+            .copy_from_slice(data);
         Ok(id)
     }
 
@@ -86,14 +123,19 @@ impl BlockStore {
         self.file(id).map(|f| f.name.as_str())
     }
 
+    fn index(&self, id: FileId) -> Result<usize, StoreError> {
+        id.0.checked_sub(self.id_base)
+            .map(usize::from)
+            .ok_or(StoreError::NotFound)
+    }
+
     fn file(&self, id: FileId) -> Result<&File, StoreError> {
-        self.files.get(id.0 as usize).ok_or(StoreError::NotFound)
+        self.files.get(self.index(id)?).ok_or(StoreError::NotFound)
     }
 
     fn file_mut(&mut self, id: FileId) -> Result<&mut File, StoreError> {
-        self.files
-            .get_mut(id.0 as usize)
-            .ok_or(StoreError::NotFound)
+        let i = self.index(id)?;
+        self.files.get_mut(i).ok_or(StoreError::NotFound)
     }
 
     /// Reads up to `count` bytes of block `block` (the tail block may be
@@ -180,6 +222,18 @@ mod tests {
         let id = s.create("g", 0).unwrap();
         s.write_block(id, 2, &[1u8; 512]).unwrap();
         assert_eq!(s.len(id).unwrap(), 3 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn id_base_offsets_every_id_and_rejects_foreign_ids() {
+        let mut s = BlockStore::with_id_base(0x1000);
+        let id = s.create("f", 512).unwrap();
+        assert_eq!(id, FileId(0x1000));
+        assert_eq!(s.open("f").unwrap(), id);
+        assert!(s.read_block(id, 0, 512).is_ok());
+        // Ids below the base belong to another shard's store.
+        assert_eq!(s.len(FileId(0)).unwrap_err(), StoreError::NotFound);
+        assert_eq!(s.len(FileId(0x0FFF)).unwrap_err(), StoreError::NotFound);
     }
 
     #[test]

@@ -1,18 +1,28 @@
-//! Ethernet segments joined by a store-and-forward gateway.
+//! Ethernet segments joined by a routed mesh of store-and-forward
+//! gateways.
 //!
-//! The paper's diskless workstations live on one broadcast segment; this
-//! topology is the first step past it — several [`Ethernet`] segments
-//! connected through a single gateway host that receives a frame in
-//! full on one segment, holds it in a **bounded queue**, and
-//! retransmits it on the destination segment (store and forward).
-//! Unicast frames whose destination lives on another segment cross the
-//! gateway; broadcasts are flooded to every other segment. Corrupted
-//! ingress frames are discarded at the gateway (its link-level check
-//! rejects them), and frames arriving while the queue is full are
-//! dropped — the kernel's retransmission machinery is what recovers
-//! both, exactly as it recovers medium loss.
+//! The paper's diskless workstations live on one broadcast segment. The
+//! first step past that (PR 3) was a single gateway joining two
+//! segments; this module generalizes it to a **routed mesh**: any number
+//! of [`Ethernet`] segments joined by explicitly-placed gateways, each
+//! bridging two or more segments. Routing tables are computed once at
+//! build time — shortest path over the segment graph, deterministic
+//! tie-breaks by gateway index — so the per-frame forwarding decision is
+//! a table lookup, never a search.
+//!
+//! Each gateway receives a frame in full on one segment, holds it in a
+//! **bounded queue**, and retransmits it on the next segment toward the
+//! destination after a per-frame forwarding delay (store and forward).
+//! Unicast frames hop segment by segment along the precomputed shortest
+//! path; broadcasts are **flooded loop-free** — the flood tracks the set
+//! of segments already covered, so even a cyclic mesh (a ring of
+//! gateways) delivers each broadcast to every host exactly once.
+//! Corrupted ingress frames are discarded at the hearing gateway (its
+//! link-level check rejects them), and frames arriving while its queue
+//! is full are dropped — the kernel's retransmission machinery is what
+//! recovers both, exactly as it recovers medium loss.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use v_sim::{SimDuration, SimTime};
 
@@ -21,7 +31,92 @@ use crate::frame::{Frame, MacAddr};
 use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult};
 use crate::transport::{GatewayStats, Transport};
 
-/// Configuration of a gatewayed internetwork.
+/// First station address of the reserved gateway range. Gateway `i`
+/// occupies address `0xE0 + i` on every segment it bridges; hosts must
+/// not attach anywhere in the range.
+pub const GATEWAY_MAC_FIRST: MacAddr = MacAddr(0xE0);
+
+/// Last station address of the reserved gateway range (0xFF is
+/// broadcast).
+pub const GATEWAY_MAC_LAST: MacAddr = MacAddr(0xFE);
+
+/// Largest number of gateways a mesh may place (the size of the
+/// reserved address range).
+pub const MAX_GATEWAYS: usize = (GATEWAY_MAC_LAST.0 - GATEWAY_MAC_FIRST.0) as usize + 1;
+
+/// The station address gateway `idx` occupies on each segment it
+/// bridges.
+pub fn gateway_mac(idx: usize) -> MacAddr {
+    assert!(
+        idx < MAX_GATEWAYS,
+        "gateway index {idx} exceeds the reserved address range ({MAX_GATEWAYS} gateways)"
+    );
+    MacAddr(GATEWAY_MAC_FIRST.0 + idx as u8)
+}
+
+/// True if `mac` falls in the reserved gateway range.
+pub fn is_gateway_mac(mac: MacAddr) -> bool {
+    (GATEWAY_MAC_FIRST.0..=GATEWAY_MAC_LAST.0).contains(&mac.0)
+}
+
+/// Configuration of a routed multi-gateway mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshConfig {
+    /// The medium flavour of each segment (index = segment number).
+    pub segments: Vec<NetworkKind>,
+    /// Gateway placement: entry `g` lists the segments gateway `g`
+    /// bridges (two or more).
+    pub gateways: Vec<Vec<usize>>,
+    /// Bounded per-gateway queue: frames arriving at a gateway while
+    /// this many are already waiting are dropped.
+    pub gateway_queue: usize,
+    /// Per-frame store-and-forward processing delay at each gateway.
+    pub forward_delay: SimDuration,
+}
+
+impl MeshConfig {
+    /// Default per-gateway queue depth (frames).
+    pub const DEFAULT_QUEUE: usize = 8;
+
+    /// Default per-frame forwarding delay.
+    pub const DEFAULT_FORWARD_DELAY: SimDuration = SimDuration::from_micros(300);
+
+    fn uniform(segments: usize, gateways: Vec<Vec<usize>>) -> MeshConfig {
+        MeshConfig {
+            segments: vec![NetworkKind::Experimental3Mb; segments],
+            gateways,
+            gateway_queue: Self::DEFAULT_QUEUE,
+            forward_delay: Self::DEFAULT_FORWARD_DELAY,
+        }
+    }
+
+    /// `n` 3 Mb segments joined in a chain by `n - 1` gateways (gateway
+    /// `i` bridges segments `i` and `i + 1`): the canonical multi-hop
+    /// topology, where segment 0 to segment `n - 1` costs `n - 1` hops.
+    pub fn line(n: usize) -> MeshConfig {
+        assert!(n >= 2, "a line mesh needs at least two segments");
+        MeshConfig::uniform(n, (0..n - 1).map(|i| vec![i, i + 1]).collect())
+    }
+
+    /// `n` 3 Mb segments in a ring of `n` gateways (gateway `i` bridges
+    /// segments `i` and `(i + 1) % n`): the smallest topology with a
+    /// routing loop, which the flood dedup and shortest-path tables must
+    /// handle.
+    pub fn ring(n: usize) -> MeshConfig {
+        assert!(n >= 3, "a ring mesh needs at least three segments");
+        MeshConfig::uniform(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+    }
+
+    /// `n` 3 Mb segments behind one hub gateway bridging all of them —
+    /// the PR 3 single-gateway star, as a mesh.
+    pub fn star(n: usize) -> MeshConfig {
+        assert!(n >= 2, "a star mesh needs at least two segments");
+        MeshConfig::uniform(n, vec![(0..n).collect()])
+    }
+}
+
+/// Configuration of the single-gateway internetwork star (the PR 3
+/// topology, kept as a convenience shorthand for [`MeshConfig::star`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InternetworkConfig {
     /// The medium flavour of each segment (index = segment number).
@@ -39,146 +134,413 @@ impl InternetworkConfig {
     pub fn two_segments() -> InternetworkConfig {
         InternetworkConfig {
             segments: vec![NetworkKind::Experimental3Mb; 2],
-            gateway_queue: 8,
-            forward_delay: SimDuration::from_micros(300),
+            gateway_queue: MeshConfig::DEFAULT_QUEUE,
+            forward_delay: MeshConfig::DEFAULT_FORWARD_DELAY,
         }
     }
 }
 
-/// The station address the gateway occupies on every segment. Reserved:
-/// hosts must not attach with it.
-pub const GATEWAY_MAC: MacAddr = MacAddr(0xFE);
+impl From<InternetworkConfig> for MeshConfig {
+    /// A star: one gateway bridging every segment.
+    fn from(cfg: InternetworkConfig) -> MeshConfig {
+        MeshConfig {
+            gateways: vec![(0..cfg.segments.len()).collect()],
+            segments: cfg.segments,
+            gateway_queue: cfg.gateway_queue,
+            forward_delay: cfg.forward_delay,
+        }
+    }
+}
 
-/// Ethernet segments joined by one store-and-forward gateway.
+/// Sentinel for "not attached" in the station→segment table.
+const UNPLACED: u16 = u16::MAX;
+
+/// One store-and-forward gateway's mutable state.
 #[derive(Debug)]
-pub struct Internetwork {
-    cfg: InternetworkConfig,
-    segments: Vec<Ethernet>,
-    /// Station → segment placement (deterministic iteration order).
-    placement: BTreeMap<MacAddr, usize>,
-    /// Instant the gateway's forwarding engine is next idle.
-    gw_free: SimTime,
+struct Gateway {
+    /// Segments this gateway bridges (sorted, deduplicated).
+    attached: Vec<usize>,
+    /// Instant the forwarding engine is next idle.
+    free: SimTime,
     /// Service-start times of accepted frames still queued or in
     /// service; entries whose start is past are purged lazily.
-    gw_backlog: Vec<SimTime>,
+    backlog: Vec<SimTime>,
+    stats: GatewayStats,
+}
+
+/// Ethernet segments joined by a routed mesh of store-and-forward
+/// gateways.
+#[derive(Debug)]
+pub struct Internetwork {
+    cfg: MeshConfig,
+    segments: Vec<Ethernet>,
+    gateways: Vec<Gateway>,
+    /// Station → segment table indexed by address, built at attach time:
+    /// the forwarding decision on every delivery is one array load, not
+    /// a map walk.
+    seg_of: [u16; 256],
+    /// `next_hop[s][d]` = the designated (gateway, egress segment)
+    /// forwarding frames heard on segment `s` toward destination segment
+    /// `d`; shortest path, ties broken by lowest gateway index then
+    /// lowest egress segment. `None` on the diagonal.
+    next_hop: Vec<Vec<Option<(u16, u16)>>>,
+    /// Segment-to-segment distance in gateway hops.
+    dist: Vec<Vec<u16>>,
     /// Deliveries produced by forwarding, awaiting a poll.
     pending: Vec<Delivery>,
-    gw_stats: GatewayStats,
 }
 
 impl Internetwork {
-    /// Builds the internetwork; each segment gets its own deterministic
-    /// RNG stream derived from `seed`.
-    pub fn new(cfg: InternetworkConfig, seed: u64) -> Internetwork {
-        assert!(
-            cfg.segments.len() >= 2,
-            "an internetwork needs at least two segments"
-        );
+    /// Builds the mesh; each segment gets its own deterministic RNG
+    /// stream derived from `seed`. Routing tables are computed here,
+    /// once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid topology: fewer than two segments, a gateway
+    /// bridging fewer than two distinct segments or naming a segment
+    /// that does not exist, more gateways than the reserved address
+    /// range holds, or a segment graph that is not connected.
+    pub fn new(cfg: impl Into<MeshConfig>, seed: u64) -> Internetwork {
+        let cfg: MeshConfig = cfg.into();
+        let n = cfg.segments.len();
+        assert!(n >= 2, "a mesh needs at least two segments");
         assert!(cfg.gateway_queue > 0, "gateway queue must hold ≥ 1 frame");
-        let mut segments = Vec::with_capacity(cfg.segments.len());
+        assert!(
+            !cfg.gateways.is_empty(),
+            "a mesh needs at least one gateway"
+        );
+        assert!(
+            cfg.gateways.len() <= MAX_GATEWAYS,
+            "{} gateways exceed the reserved address range ({MAX_GATEWAYS})",
+            cfg.gateways.len()
+        );
+
+        let mut segments = Vec::with_capacity(n);
         for (i, kind) in cfg.segments.iter().enumerate() {
-            let mut seg = Ethernet::for_kind(*kind, seed.wrapping_add(0x9E37 * (i as u64 + 1)));
-            seg.register(GATEWAY_MAC);
-            segments.push(seg);
+            segments.push(Ethernet::for_kind(
+                *kind,
+                seed.wrapping_add(0x9E37 * (i as u64 + 1)),
+            ));
         }
+
+        let mut gateways = Vec::with_capacity(cfg.gateways.len());
+        for (g, attached) in cfg.gateways.iter().enumerate() {
+            let mut attached = attached.clone();
+            attached.sort_unstable();
+            attached.dedup();
+            assert!(
+                attached.len() >= 2,
+                "gateway {g} must bridge at least two distinct segments"
+            );
+            for &s in &attached {
+                assert!(
+                    s < n,
+                    "gateway {g} bridges segment {s}, but the mesh has {n} segments"
+                );
+                segments[s].register(gateway_mac(g));
+            }
+            gateways.push(Gateway {
+                attached,
+                free: SimTime::ZERO,
+                backlog: Vec::new(),
+                stats: GatewayStats::default(),
+            });
+        }
+
+        let (dist, next_hop) = route_tables(n, &gateways);
+        for (d, row) in dist[0].iter().enumerate() {
+            assert!(
+                *row != u16::MAX,
+                "segment {d} is unreachable from segment 0: the mesh must be connected"
+            );
+        }
+
         Internetwork {
             cfg,
             segments,
-            placement: BTreeMap::new(),
-            gw_free: SimTime::ZERO,
-            gw_backlog: Vec::new(),
+            gateways,
+            seg_of: [UNPLACED; 256],
+            next_hop,
+            dist,
             pending: Vec::new(),
-            gw_stats: GatewayStats::default(),
         }
     }
 
     /// The configured topology.
-    pub fn config(&self) -> &InternetworkConfig {
+    pub fn config(&self) -> &MeshConfig {
         &self.cfg
     }
 
-    /// The segment a station is attached to, if any.
+    /// The segment a station is attached to, if any. One array load —
+    /// this sits on the forwarding hot path for every delivery.
     pub fn segment_of(&self, mac: MacAddr) -> Option<usize> {
-        self.placement.get(&mac).copied()
+        match self.seg_of[mac.0 as usize] {
+            UNPLACED => None,
+            s => Some(s as usize),
+        }
     }
 
-    /// Accepts an ingress copy at the gateway and forwards it, queuing
-    /// the egress deliveries into `pending`.
-    fn gateway_ingress(&mut self, at: SimTime, frame: &Frame, from_seg: usize) {
-        // Bounded queue: entries that began service by `at` have left it.
-        self.gw_backlog.retain(|&s| s > at);
-        if self.gw_backlog.len() >= self.cfg.gateway_queue {
-            self.gw_stats.queue_drops += 1;
-            return;
-        }
-        let start = at.max(self.gw_free);
-        self.gw_backlog.push(start);
-        self.gw_stats.max_queue = self.gw_stats.max_queue.max(self.gw_backlog.len());
+    /// Gateway-hop distance between two segments.
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        self.dist[from][to] as usize
+    }
 
-        let targets: Vec<usize> = if frame.dst.is_broadcast() {
-            (0..self.segments.len())
-                .filter(|&s| s != from_seg)
-                .collect()
-        } else {
-            match self.placement.get(&frame.dst) {
-                Some(&seg) if seg != from_seg => vec![seg],
-                // Unknown or same-segment destination: nothing to forward
-                // (the same-segment copy was already delivered directly).
-                _ => Vec::new(),
+    /// The gateway index a station address in the reserved range maps
+    /// to, when that gateway exists in this mesh.
+    fn gateway_index(&self, mac: MacAddr) -> Option<usize> {
+        if !is_gateway_mac(mac) {
+            return None;
+        }
+        let idx = (mac.0 - GATEWAY_MAC_FIRST.0) as usize;
+        (idx < self.gateways.len()).then_some(idx)
+    }
+
+    /// Admits one ingress frame into gateway `g`'s bounded queue.
+    /// Returns the instant service starts, or `None` if the queue was
+    /// full and the frame was dropped.
+    fn admit(&mut self, g: usize, at: SimTime) -> Option<SimTime> {
+        let gw = &mut self.gateways[g];
+        // Bounded queue: entries that began service by `at` have left it.
+        gw.backlog.retain(|&s| s > at);
+        if gw.backlog.len() >= self.cfg.gateway_queue {
+            gw.stats.queue_drops += 1;
+            return None;
+        }
+        let start = at.max(gw.free);
+        gw.backlog.push(start);
+        gw.stats.max_queue = gw.stats.max_queue.max(gw.backlog.len());
+        Some(start)
+    }
+
+    /// Forwards a unicast heard on segment `seg` at `at` toward
+    /// `dest_seg`, hop by hop along the routing tables, queuing final
+    /// deliveries into `pending`.
+    fn forward_unicast(&mut self, mut at: SimTime, frame: &Frame, mut seg: usize, dest_seg: usize) {
+        loop {
+            let (g, egress) = match self.next_hop[seg][dest_seg] {
+                Some((g, e)) => (g as usize, e as usize),
+                None => return, // unreachable destination: nothing hears it
+            };
+            let Some(start) = self.admit(g, at) else {
+                return;
+            };
+            let cursor = start + self.cfg.forward_delay;
+            let tx = self.segments[egress].transmit(cursor, frame.clone());
+            self.gateways[g].free = tx.tx_end;
+            self.gateways[g].stats.forwarded += 1;
+
+            if egress == dest_seg {
+                // Final segment: the copies (possibly corrupted — the
+                // receiver's checksum is what rejects those) are host
+                // deliveries.
+                self.pending.extend(tx.deliveries);
+                return;
             }
-        };
-        let mut cursor = start + self.cfg.forward_delay;
-        for seg in targets {
-            let tx = self.segments[seg].transmit(cursor, frame.clone());
-            cursor = tx.tx_end;
-            self.gw_free = tx.tx_end;
-            self.gw_stats.forwarded += 1;
+            // Intermediate segment: each copy is the next designated
+            // gateway's ingress. Fault injection may have dropped it
+            // (empty), corrupted it (the gateway's link-level check
+            // discards it) or duplicated it (both copies continue).
+            let mut continuations: Vec<SimTime> = Vec::new();
             for d in tx.deliveries {
-                // The gateway's own copy on the egress segment must not
-                // re-enter forwarding (single gateway: routing is done).
-                if d.dst != GATEWAY_MAC {
-                    self.pending.push(d);
+                if d.corrupted {
+                    if let Some((ng, _)) = self.next_hop[egress][dest_seg] {
+                        self.gateways[ng as usize].stats.corrupt_drops += 1;
+                    }
+                } else {
+                    continuations.push(d.at);
+                }
+            }
+            match continuations.len() {
+                0 => return,
+                1 => {
+                    at = continuations[0];
+                    seg = egress;
+                }
+                _ => {
+                    for a in continuations {
+                        self.forward_unicast(a, frame, egress, dest_seg);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Floods a broadcast through the mesh. `visited` marks segments
+    /// already covered (the origin segment to begin with); `ingress`
+    /// seeds the flood with the (gateway, segment, arrival) copies heard
+    /// on the origin segment. The per-flood seen-set makes the flood
+    /// loop-free on any topology: each segment is transmitted on at most
+    /// once, so every host sees the frame exactly once.
+    fn flood(
+        &mut self,
+        frame: &Frame,
+        visited: &mut [bool],
+        mut ingress: VecDeque<(usize, usize, SimTime)>,
+    ) {
+        while let Some((g, seg, at)) = ingress.pop_front() {
+            let targets: Vec<usize> = self.gateways[g]
+                .attached
+                .iter()
+                .copied()
+                .filter(|&e| e != seg && !visited[e])
+                .collect();
+            if targets.is_empty() {
+                continue; // every reachable segment already covered
+            }
+            let Some(start) = self.admit(g, at) else {
+                continue;
+            };
+            let mut cursor = start + self.cfg.forward_delay;
+            for e in targets {
+                visited[e] = true;
+                let tx = self.segments[e].transmit(cursor, frame.clone());
+                cursor = tx.tx_end;
+                self.gateways[g].free = tx.tx_end;
+                self.gateways[g].stats.forwarded += 1;
+                for d in tx.deliveries {
+                    match self.gateway_index(d.dst) {
+                        // The emitting gateway's own copy on the egress
+                        // segment must not re-enter the flood.
+                        Some(g2) if g2 == g => {}
+                        Some(g2) => {
+                            if d.corrupted {
+                                self.gateways[g2].stats.corrupt_drops += 1;
+                            } else {
+                                ingress.push_back((g2, e, d.at));
+                            }
+                        }
+                        None => self.pending.push(d),
+                    }
                 }
             }
         }
     }
 }
 
+/// Computes the distance matrix and designated next-hop table for the
+/// segment graph (nodes = segments, edges = gateway bridges), BFS per
+/// source with deterministic tie-breaks.
+type RouteTables = (Vec<Vec<u16>>, Vec<Vec<Option<(u16, u16)>>>);
+
+fn route_tables(n: usize, gateways: &[Gateway]) -> RouteTables {
+    // Adjacency: segments sharing a gateway are one hop apart.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for gw in gateways {
+        for &a in &gw.attached {
+            for &b in &gw.attached {
+                if a != b && !adj[a].contains(&b) {
+                    adj[a].push(b);
+                }
+            }
+        }
+    }
+    for row in &mut adj {
+        row.sort_unstable();
+    }
+
+    let mut dist = vec![vec![u16::MAX; n]; n];
+    for (s, drow) in dist.iter_mut().enumerate() {
+        drow[s] = 0;
+        let mut q = VecDeque::from([s]);
+        while let Some(x) = q.pop_front() {
+            for &y in &adj[x] {
+                if drow[y] == u16::MAX {
+                    drow[y] = drow[x] + 1;
+                    q.push_back(y);
+                }
+            }
+        }
+    }
+
+    // Designated forwarder per (ingress segment, destination segment):
+    // the lowest-indexed gateway on the ingress segment with an attached
+    // segment strictly closer to the destination; its lowest such
+    // attached segment is the egress. Shortest-path and deterministic,
+    // so exactly one gateway forwards any given unicast.
+    let mut next_hop: Vec<Vec<Option<(u16, u16)>>> = vec![vec![None; n]; n];
+    for s in 0..n {
+        for d in 0..n {
+            if s == d || dist[s][d] == u16::MAX {
+                continue;
+            }
+            'gw: for (g, gw) in gateways.iter().enumerate() {
+                if !gw.attached.contains(&s) {
+                    continue;
+                }
+                for &e in &gw.attached {
+                    if e != s && dist[e][d] + 1 == dist[s][d] {
+                        next_hop[s][d] = Some((g as u16, e as u16));
+                        break 'gw;
+                    }
+                }
+            }
+        }
+    }
+    (dist, next_hop)
+}
+
 impl Transport for Internetwork {
     fn attach(&mut self, mac: MacAddr, segment: usize) {
         assert!(
-            mac != GATEWAY_MAC,
-            "station address {GATEWAY_MAC} is reserved for the gateway"
+            !is_gateway_mac(mac),
+            "station address {mac} collides with the reserved gateway range \
+             {GATEWAY_MAC_FIRST}..={GATEWAY_MAC_LAST}"
         );
         assert!(
             segment < self.segments.len(),
             "segment {segment} does not exist (topology has {})",
             self.segments.len()
         );
-        self.placement.insert(mac, segment);
+        self.seg_of[mac.0 as usize] = segment as u16;
         self.segments[segment].register(mac);
     }
 
     fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
-        let from_seg = *self
-            .placement
-            .get(&frame.src)
+        let from_seg = self
+            .segment_of(frame.src)
             .expect("transmitting station is not attached to any segment");
         let tx = self.segments[from_seg].transmit(ready, frame.clone());
         let mut local = Vec::with_capacity(tx.deliveries.len());
-        for d in tx.deliveries {
-            if d.dst == GATEWAY_MAC || self.segment_of(d.dst) != Some(from_seg) {
-                // Ingress copy for the gateway: a broadcast copy addressed
-                // to it, or a unicast whose destination lives elsewhere
-                // (the segment medium timed its arrival; the gateway
-                // stands on this segment and hears it then).
-                if d.corrupted {
-                    self.gw_stats.corrupt_drops += 1;
-                } else {
-                    self.gateway_ingress(d.at, &frame, from_seg);
+
+        if frame.dst.is_broadcast() {
+            // Host copies on the origin segment deliver directly; copies
+            // addressed to gateways seed the mesh-wide flood.
+            let mut visited = vec![false; self.segments.len()];
+            visited[from_seg] = true;
+            let mut ingress = VecDeque::new();
+            for d in tx.deliveries {
+                match self.gateway_index(d.dst) {
+                    Some(g) => {
+                        if d.corrupted {
+                            self.gateways[g].stats.corrupt_drops += 1;
+                        } else {
+                            ingress.push_back((g, from_seg, d.at));
+                        }
+                    }
+                    None => local.push(d),
                 }
-            } else {
-                local.push(d);
+            }
+            self.flood(&frame, &mut visited, ingress);
+        } else {
+            for d in tx.deliveries {
+                match self.segment_of(d.dst) {
+                    Some(seg) if seg == from_seg => local.push(d),
+                    Some(dest_seg) => {
+                        // Off-segment destination: the designated gateway
+                        // on this segment hears the copy and routes it.
+                        if d.corrupted {
+                            if let Some((g, _)) = self.next_hop[from_seg][dest_seg] {
+                                self.gateways[g as usize].stats.corrupt_drops += 1;
+                            }
+                        } else {
+                            self.forward_unicast(d.at, &frame, from_seg, dest_seg);
+                        }
+                    }
+                    // Unknown destination: no station hears it.
+                    None => {}
+                }
             }
         }
         TxResult {
@@ -221,7 +583,15 @@ impl Transport for Internetwork {
     }
 
     fn gateway_stats(&self) -> Option<GatewayStats> {
-        Some(self.gw_stats)
+        let mut total = GatewayStats::default();
+        for gw in &self.gateways {
+            total.absorb(&gw.stats);
+        }
+        Some(total)
+    }
+
+    fn per_gateway_stats(&self) -> Vec<GatewayStats> {
+        self.gateways.iter().map(|g| g.stats).collect()
     }
 }
 
@@ -234,8 +604,9 @@ mod tests {
         Frame::new(dst, src, EtherType::RAW_BENCH, vec![0xC3; len])
     }
 
-    /// Two segments: station 1 on segment 0, stations 2 and 3 on 1.
-    fn net() -> Internetwork {
+    /// Star of two segments: station 1 on segment 0, stations 2 and 3
+    /// on 1 — the PR 3 topology.
+    fn star() -> Internetwork {
         let mut n = Internetwork::new(InternetworkConfig::two_segments(), 42);
         n.attach(MacAddr(1), 0);
         n.attach(MacAddr(2), 1);
@@ -243,25 +614,38 @@ mod tests {
         n
     }
 
+    /// Three segments in a line, one host each: 1—gw—2—gw—3.
+    fn line3() -> Internetwork {
+        let mut n = Internetwork::new(MeshConfig::line(3), 42);
+        n.attach(MacAddr(1), 0);
+        n.attach(MacAddr(2), 1);
+        n.attach(MacAddr(3), 2);
+        n
+    }
+
     fn polled(n: &mut Internetwork) -> Vec<Delivery> {
         n.poll_deliveries()
     }
 
+    fn total(n: &Internetwork) -> GatewayStats {
+        n.gateway_stats().unwrap()
+    }
+
     #[test]
     fn same_segment_unicast_stays_direct() {
-        let mut n = net();
+        let mut n = star();
         let r = n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(2), 64));
         assert_eq!(r.deliveries.len(), 1);
         assert_eq!(r.deliveries[0].dst, MacAddr(3));
         assert!(polled(&mut n).is_empty());
-        assert_eq!(n.gateway_stats().unwrap().forwarded, 0);
+        assert_eq!(total(&n).forwarded, 0);
     }
 
     #[test]
     fn cross_segment_unicast_is_forwarded_and_later() {
-        let mut n = net();
+        let mut n = star();
         let direct = n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(2), 64));
-        let mut n = net();
+        let mut n = star();
         let r = n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
         assert!(r.deliveries.is_empty(), "no same-segment receiver");
         let fwd = polled(&mut n);
@@ -273,12 +657,12 @@ mod tests {
             fwd[0].at,
             direct.deliveries[0].at
         );
-        assert_eq!(n.gateway_stats().unwrap().forwarded, 1);
+        assert_eq!(total(&n).forwarded, 1);
     }
 
     #[test]
     fn broadcast_floods_every_segment_once() {
-        let mut n = net();
+        let mut n = star();
         let r = n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
         // Segment 0 has only the sender (plus the gateway), so no direct
         // receivers.
@@ -289,8 +673,68 @@ mod tests {
     }
 
     #[test]
+    fn two_hop_unicast_crosses_both_gateways() {
+        let mut n = line3();
+        assert_eq!(n.hops(0, 2), 2);
+        let r = n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(1), 64));
+        assert!(r.deliveries.is_empty());
+        let fwd = polled(&mut n);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].dst, MacAddr(3));
+        let per = n.per_gateway_stats();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].forwarded, 1, "first hop");
+        assert_eq!(per[1].forwarded, 1, "second hop");
+    }
+
+    #[test]
+    fn hop_latency_is_additive() {
+        // One-hop and two-hop deliveries of the same frame size from the
+        // same origin: each extra hop costs exactly the same increment.
+        let mut n = line3();
+        let direct_at = {
+            let mut m = Internetwork::new(MeshConfig::line(3), 42);
+            m.attach(MacAddr(1), 0);
+            m.attach(MacAddr(9), 0);
+            let r = m.transmit(SimTime::ZERO, frame(MacAddr(9), MacAddr(1), 64));
+            r.deliveries[0].at
+        };
+        let one = {
+            n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
+            polled(&mut n)[0].at
+        };
+        let mut n2 = line3();
+        let two = {
+            n2.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(1), 64));
+            polled(&mut n2)[0].at
+        };
+        let hop1 = one.since(direct_at);
+        let hop2 = two.since(one);
+        assert!(!hop1.is_zero());
+        assert_eq!(hop1, hop2, "identical segments ⇒ identical hop cost");
+    }
+
+    #[test]
+    fn ring_broadcast_is_loop_free() {
+        // A ring has a cycle; the flood must still cover every host
+        // exactly once and terminate.
+        let mut n = Internetwork::new(MeshConfig::ring(4), 7);
+        for s in 0..4 {
+            n.attach(MacAddr(1 + s as u8), s);
+        }
+        let r = n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
+        assert!(
+            r.deliveries.is_empty(),
+            "origin segment has only the sender"
+        );
+        let mut dsts: Vec<u8> = polled(&mut n).iter().map(|d| d.dst.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![2, 3, 4], "each host exactly once");
+    }
+
+    #[test]
     fn bounded_queue_drops_bursts() {
-        let mut cfg = InternetworkConfig::two_segments();
+        let mut cfg: MeshConfig = InternetworkConfig::two_segments().into();
         cfg.gateway_queue = 1;
         let mut n = Internetwork::new(cfg, 9);
         n.attach(MacAddr(1), 0);
@@ -301,7 +745,7 @@ mod tests {
             let r = n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 1024));
             let _ = r;
         }
-        let g = n.gateway_stats().unwrap();
+        let g = total(&n);
         assert!(g.queue_drops > 0, "burst must overflow the 1-frame queue");
         assert!(g.forwarded > 0, "some frames still get through");
         let fwd = polled(&mut n);
@@ -310,28 +754,72 @@ mod tests {
 
     #[test]
     fn corrupted_ingress_is_dropped_at_the_gateway() {
-        let mut n = net();
+        let mut n = star();
         n.set_faults(FaultPlan {
             corrupt: 1.0,
             ..FaultPlan::NONE
         });
         n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
         assert!(polled(&mut n).is_empty());
-        assert_eq!(n.gateway_stats().unwrap().corrupt_drops, 1);
+        assert_eq!(total(&n).corrupt_drops, 1);
     }
 
     #[test]
     fn stats_sum_across_segments() {
-        let mut n = net();
+        let mut n = star();
         n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
         // Ingress transmit on segment 0 plus gateway egress on segment 1.
         assert_eq!(n.stats().frames_sent, 2);
     }
 
     #[test]
-    #[should_panic(expected = "reserved for the gateway")]
-    fn gateway_address_cannot_be_attached() {
-        let mut n = net();
-        n.attach(GATEWAY_MAC, 0);
+    fn routing_tables_pick_shortest_paths() {
+        let n = Internetwork::new(MeshConfig::ring(5), 3);
+        // Around a 5-ring the far side is 2 hops either way; the near
+        // sides are 1.
+        assert_eq!(n.hops(0, 1), 1);
+        assert_eq!(n.hops(0, 2), 2);
+        assert_eq!(n.hops(0, 3), 2);
+        assert_eq!(n.hops(0, 4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved gateway range")]
+    fn gateway_range_cannot_be_attached() {
+        let mut n = star();
+        n.attach(gateway_mac(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved gateway range")]
+    fn whole_gateway_range_is_rejected_even_unused_addresses() {
+        // Only one gateway exists, but the whole range stays reserved.
+        let mut n = star();
+        n.attach(GATEWAY_MAC_LAST, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn disconnected_mesh_is_rejected() {
+        // Segments 2 and 3 are bridged to each other but not to 0/1.
+        let cfg = MeshConfig {
+            segments: vec![NetworkKind::Experimental3Mb; 4],
+            gateways: vec![vec![0, 1], vec![2, 3]],
+            gateway_queue: 8,
+            forward_delay: SimDuration::from_micros(300),
+        };
+        Internetwork::new(cfg, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two distinct segments")]
+    fn degenerate_gateway_is_rejected() {
+        let cfg = MeshConfig {
+            segments: vec![NetworkKind::Experimental3Mb; 2],
+            gateways: vec![vec![1, 1]],
+            gateway_queue: 8,
+            forward_delay: SimDuration::from_micros(300),
+        };
+        Internetwork::new(cfg, 1);
     }
 }

@@ -30,8 +30,11 @@
 //! Beyond the paper's single segment, the crate exposes a pluggable
 //! [`Transport`] boundary: the shared [`Ethernet`] is one implementation,
 //! [`PointToPointLink`] models a lossy WAN line, and [`Internetwork`]
-//! joins several Ethernet segments through a store-and-forward gateway
-//! with a bounded queue. A [`Topology`] value describes which to build.
+//! joins Ethernet segments through a routed mesh of store-and-forward
+//! gateways ([`MeshConfig`]: shortest-path tables computed at build
+//! time, bounded per-gateway queues, loop-free broadcast flooding; the
+//! PR 3 single-gateway star remains as [`InternetworkConfig`]). A
+//! [`Topology`] value describes which to build.
 
 pub mod fault;
 pub mod frame;
@@ -43,7 +46,10 @@ pub mod transport;
 
 pub use fault::FaultPlan;
 pub use frame::{EtherType, Frame, MacAddr};
-pub use internet::{Internetwork, InternetworkConfig, GATEWAY_MAC};
+pub use internet::{
+    gateway_mac, is_gateway_mac, Internetwork, InternetworkConfig, MeshConfig, GATEWAY_MAC_FIRST,
+    GATEWAY_MAC_LAST, MAX_GATEWAYS,
+};
 pub use link::{LinkParams, PointToPointLink};
 pub use medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetParams, NetworkKind, TxResult};
 pub use nic::Nic;

@@ -11,11 +11,11 @@ use v_sim::SimTime;
 
 use crate::fault::FaultPlan;
 use crate::frame::{Frame, MacAddr};
-use crate::internet::{Internetwork, InternetworkConfig};
+use crate::internet::{Internetwork, InternetworkConfig, MeshConfig};
 use crate::link::{LinkParams, PointToPointLink};
 use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult};
 
-/// Statistics of a store-and-forward element inside a transport.
+/// Statistics of one store-and-forward element inside a transport.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GatewayStats {
     /// Frames forwarded onto another segment (one count per egress copy).
@@ -27,6 +27,24 @@ pub struct GatewayStats {
     pub corrupt_drops: u64,
     /// Largest number of frames ever waiting in the queue at once.
     pub max_queue: usize,
+}
+
+impl GatewayStats {
+    /// Accumulates another gateway's counters into this one (used to
+    /// total a multi-gateway mesh). Counters add; `max_queue` takes the
+    /// worst single gateway.
+    pub fn absorb(&mut self, o: &GatewayStats) {
+        let GatewayStats {
+            forwarded,
+            queue_drops,
+            corrupt_drops,
+            max_queue,
+        } = *o;
+        self.forwarded += forwarded;
+        self.queue_drops += queue_drops;
+        self.corrupt_drops += corrupt_drops;
+        self.max_queue = self.max_queue.max(max_queue);
+    }
 }
 
 /// A medium that moves frames between attached stations.
@@ -66,10 +84,16 @@ pub trait Transport {
     /// that model a shared medium; a no-op elsewhere.
     fn set_collision_bug(&mut self, _bug: Option<CollisionBug>) {}
 
-    /// Statistics of the forwarding element, for transports that have
-    /// one.
+    /// Aggregate statistics of the forwarding elements, for transports
+    /// that have any (summed across gateways on a mesh).
     fn gateway_stats(&self) -> Option<GatewayStats> {
         None
+    }
+
+    /// Per-gateway statistics, one entry per gateway in placement order.
+    /// Empty for transports without a forwarding element.
+    fn per_gateway_stats(&self) -> Vec<GatewayStats> {
+        Vec::new()
     }
 }
 
@@ -81,8 +105,12 @@ pub enum Topology {
     SingleSegment(NetworkKind),
     /// A point-to-point WAN link between exactly two stations.
     PointToPoint(LinkParams),
-    /// Ethernet segments joined by a store-and-forward gateway.
+    /// Ethernet segments joined by one store-and-forward gateway (a
+    /// star — shorthand for a one-gateway [`Topology::Mesh`]).
     Internetwork(InternetworkConfig),
+    /// Ethernet segments joined by a routed mesh of explicitly-placed
+    /// gateways.
+    Mesh(MeshConfig),
 }
 
 impl Topology {
@@ -92,6 +120,16 @@ impl Topology {
             Topology::SingleSegment(kind) => Box::new(Ethernet::for_kind(*kind, seed)),
             Topology::PointToPoint(params) => Box::new(PointToPointLink::new(*params, seed)),
             Topology::Internetwork(cfg) => Box::new(Internetwork::new(cfg.clone(), seed)),
+            Topology::Mesh(cfg) => Box::new(Internetwork::new(cfg.clone(), seed)),
+        }
+    }
+
+    /// Number of distinct segments hosts can be placed on.
+    pub fn num_segments(&self) -> usize {
+        match self {
+            Topology::SingleSegment(_) | Topology::PointToPoint(_) => 1,
+            Topology::Internetwork(cfg) => cfg.segments.len(),
+            Topology::Mesh(cfg) => cfg.segments.len(),
         }
     }
 }

@@ -47,7 +47,9 @@ fn main() {
 
     let k0 = cluster.kernel_stats(HostId(0));
     let k1 = cluster.kernel_stats(HostId(1));
-    let g = cluster.gateway_stats().expect("internetwork topology");
+    let g = cluster
+        .gateway_stats_total()
+        .expect("internetwork topology");
     let m = cluster.medium_stats();
     println!();
     println!("what the topology did to the traffic:");
