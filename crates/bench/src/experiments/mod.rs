@@ -8,6 +8,7 @@
 mod ablations;
 mod fileserver;
 mod multi;
+mod pipeline;
 mod shard;
 mod table_4_1;
 mod table_5;
@@ -22,6 +23,7 @@ pub use ablations::{
 };
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;
+pub use pipeline::{pipeline_contention, pipeline_with_rounds};
 pub use shard::{shard_placement, shard_with_rounds};
 pub use table_4_1::{network_penalty, network_penalty_with_rounds};
 pub use table_5::kernel_performance;

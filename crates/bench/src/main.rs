@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|ablate]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|pipeline|ablate]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -14,8 +14,8 @@
 //! `--check PCT` exits nonzero if any produced table's worst deviation
 //! from the paper exceeds `PCT` percent — the CI regression gate.
 //!
-//! `--smoke` runs Table 4-1, the WAN table and the shard-placement
-//! table with tiny round counts: a cheap end-to-end exercise of the
+//! `--smoke` runs Table 4-1, the WAN table, the shard-placement table
+//! and the server-team pipelining table with tiny round counts: a cheap end-to-end exercise of the
 //! experiment pipeline for CI, not a measurement. It cannot be combined
 //! with experiment ids, but accepts `--json` / `--check`.
 
@@ -42,6 +42,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "streaming" => exp::streaming_comparison(),
         "wan" => exp::wan_topologies(),
         "shard" => exp::shard_placement(),
+        "pipeline" => exp::pipeline_contention(),
         "ablate" => exp::protocol_ablations(),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -50,7 +51,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "4-1",
     "5-1",
     "5-2",
@@ -66,6 +67,7 @@ const ALL: [&str; 16] = [
     "streaming",
     "wan",
     "shard",
+    "pipeline",
     "ablate",
 ];
 
@@ -165,11 +167,13 @@ fn main() {
         ok &= process(&w, "wan", &opts);
         let s = exp::shard_with_rounds(40);
         ok &= process(&s, "shard", &opts);
+        let p = exp::pipeline_with_rounds(8);
+        ok &= process(&p, "pipeline", &opts);
         if !ok {
             std::process::exit(2);
         }
         println!(
-            "smoke OK: Table 4-1, WAN and shard pipelines ran end to end \
+            "smoke OK: Table 4-1, WAN, shard and server-team pipelines ran end to end \
              (tiny rounds, not a measurement)"
         );
         return;

@@ -212,6 +212,52 @@ fn shard_placement_orders_by_hops_and_preserves_the_baseline() {
 }
 
 #[test]
+fn pipelining_beats_sequential_under_fan_in_and_keeps_workers_1_bit_identical() {
+    let c = exp::pipeline_with_rounds(20);
+    // Bit-identical: the team refactor must not move the paper-shaped
+    // sequential server (workers = 1) by even one event relative to a
+    // directly spawned pre-team `FileServer`. Exact float equality.
+    let perturbation = metric_of(&c, "workers=1 perturbation of direct spawn");
+    assert_eq!(
+        perturbation, 0.0,
+        "team builder perturbed the sequential server by {perturbation} ms"
+    );
+    // Pipelining must win strictly wherever there is concurrency to
+    // overlap (≥ 2 clients); with a single client the forward/notify
+    // overhead makes it honestly a touch slower.
+    for clients in [2u32, 4, 8] {
+        let seq = metric_of(&c, &format!("burst of {clients}: sequential per read"));
+        let pipe = metric_of(
+            &c,
+            &format!("burst of {clients}: pipelined per read (4 workers)"),
+        );
+        assert!(
+            pipe < seq,
+            "burst of {clients}: pipelined {pipe:.2} ms must beat sequential {seq:.2} ms"
+        );
+    }
+    // The disk is the shared queueing center: pipelining drives it
+    // harder (higher utilization, real queueing), the sequential server
+    // never queues it at all.
+    let seq_util = metric_of(&c, "burst of 8: sequential disk utilization");
+    let pipe_util = metric_of(&c, "burst of 8: pipelined disk utilization");
+    assert!(
+        pipe_util > seq_util,
+        "pipelined disk utilization {pipe_util:.1}% must exceed sequential {seq_util:.1}%"
+    );
+    assert!(metric_of(&c, "burst of 8: pipelined max disk queue depth") > 1.0);
+    assert_eq!(
+        metric_of(&c, "burst of 8: sequential max disk queue depth"),
+        1.0
+    );
+    // Throughput moves toward the disk-bound ceiling.
+    assert!(
+        metric_of(&c, "burst of 8: pipelined served load")
+            > metric_of(&c, "burst of 8: sequential served load")
+    );
+}
+
+#[test]
 fn protocol_ablations_quantify_their_mechanisms() {
     let c = exp::protocol_ablations();
     assert!(

@@ -36,6 +36,13 @@ pub enum AlienState {
         /// When the reply was generated (for retention expiry).
         at: SimTime,
     },
+    /// Forwarded to a server on another host: the exchange now lives at
+    /// the forwardee's kernel; this descriptor only answers duplicate
+    /// Sends with the cached rebind notification until it expires.
+    Forwarded {
+        /// When the exchange was handed off (for retention expiry).
+        at: SimTime,
+    },
 }
 
 /// An alien descriptor.
@@ -56,6 +63,10 @@ pub struct Alien {
     pub appended_from: u32,
     /// Exchange state.
     pub state: AlienState,
+    /// Encoded Forward rebind notification, cached once the exchange has
+    /// been forwarded so a duplicate Send (the client missed the note)
+    /// can be answered by re-sending it.
+    pub forward_note: Option<Vec<u8>>,
 }
 
 /// Disposition of an arriving Send packet, as judged by the alien table.
@@ -145,6 +156,7 @@ impl AlienTable {
                 appended: body.appended,
                 appended_from: body.appended_from,
                 state: AlienState::Queued,
+                forward_note: None,
             },
         );
         SendVerdict::Deliver
@@ -155,12 +167,14 @@ impl AlienTable {
         self.map.remove(&src)
     }
 
-    /// Drops replied aliens older than `keep` at time `now`, freeing pool
-    /// slots (the paper keeps replies "for a period of time").
+    /// Drops replied and forwarded aliens older than `keep` at time
+    /// `now`, freeing pool slots (the paper keeps replies "for a period
+    /// of time"; a forwarded exchange's rebind note gets the same
+    /// retention).
     pub fn sweep(&mut self, now: SimTime, keep: v_sim::SimDuration) -> usize {
         let before = self.map.len();
         self.map.retain(|_, a| match &a.state {
-            AlienState::Replied { at, .. } => now.since(*at) < keep,
+            AlienState::Replied { at, .. } | AlienState::Forwarded { at } => now.since(*at) < keep,
             _ => true,
         });
         before - self.map.len()
@@ -183,11 +197,18 @@ impl AlienTable {
     /// Aliens addressed to `dst` whose exchange will never be replied
     /// (still queued or delivered). `Replied` aliens are *not* listed:
     /// their cached reply must stay available to answer retransmissions
-    /// even after the replier exits.
+    /// even after the replier exits. `Forwarded` aliens are likewise
+    /// excluded — their exchange completes at the forwardee's kernel.
     pub fn addressed_to_unreplied(&self, dst: Pid) -> Vec<Pid> {
         self.map
             .values()
-            .filter(|a| a.dst == dst && !matches!(a.state, AlienState::Replied { .. }))
+            .filter(|a| {
+                a.dst == dst
+                    && !matches!(
+                        a.state,
+                        AlienState::Replied { .. } | AlienState::Forwarded { .. }
+                    )
+            })
             .map(|a| a.src)
             .collect()
     }

@@ -610,6 +610,23 @@ impl<'a> Api<'a> {
         Ok(())
     }
 
+    /// `Forward(message, from, to)`: hands a message received from
+    /// `from` to another server process `to`, as though `from` had sent
+    /// it there directly — `to` becomes the process the client awaits a
+    /// reply from, and its `Reply`/`MoveTo`/`MoveFrom` reach the client
+    /// unchanged, locally and across hosts. The forwarder must have
+    /// received (and not yet replied to) the exchange. Non-blocking:
+    /// the receptionist of a server team forwards and immediately
+    /// receives the next request.
+    pub fn forward(&mut self, msg: Message, from: Pid, to: Pid) -> Result<(), KernelError> {
+        let me = self.pid;
+        let t = self.now;
+        let mut ctx = self.cl.ctx(self.host);
+        let end = ctx.do_forward(t, me, msg, from, to)?;
+        self.now = end;
+        Ok(())
+    }
+
     /// `SetPid(logicalid, pid, scope)`: registers a logical id.
     pub fn set_pid(&mut self, logical_id: u32, pid: Pid, scope: Scope) {
         let h = &mut self.cl.hosts[self.host.0];

@@ -82,6 +82,11 @@ pub struct CostModel {
     pub receive_local: SimDuration,
     /// Local `Reply` (copy reply, ready sender).
     pub reply_local: SimDuration,
+    /// `Forward`: relink a received exchange to another server process
+    /// (requeue the sender or rebuild the alien binding). Comparable to
+    /// a `Reply`'s bookkeeping; the network leg of a cross-host forward
+    /// is charged by the frame-emission path on top.
+    pub forward: SimDuration,
     /// Extra fixed work for segment-carrying receive/reply variants.
     pub segment_fixed: SimDuration,
 
@@ -140,6 +145,7 @@ impl CostModel {
             send_local: us(250),
             receive_local: us(150),
             reply_local: us(200),
+            forward: us(200),
             segment_fixed: us(250),
             send_remote: us(300),
             reply_remote: us(250),
@@ -178,6 +184,7 @@ impl CostModel {
             send_local: scale(base.send_local),
             receive_local: scale(base.receive_local),
             reply_local: scale(base.reply_local),
+            forward: scale(base.forward),
             segment_fixed: scale(base.segment_fixed),
             send_remote: scale(base.send_remote),
             reply_remote: scale(base.reply_remote),

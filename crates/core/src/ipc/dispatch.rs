@@ -163,6 +163,12 @@ impl Ctx<'_> {
                 let Some(dst) = dst else { return };
                 self.handle_getpid_reply(t, dst, body);
             }
+            PacketBody::Forward(body) => {
+                let (Some(src), Some(dst)) = (src, dst) else {
+                    return;
+                };
+                self.handle_forward_pkt(t, src, dst, seq, body);
+            }
         }
     }
 

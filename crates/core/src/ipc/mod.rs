@@ -7,6 +7,9 @@
 //!   typed handler, raw-protocol fan-out, and blocking-syscall dispatch;
 //! * [`send_recv`] — the Send/Receive/Reply message exchange, including
 //!   the alien admission path and the receiver pump;
+//! * [`forward`] — the `Forward` primitive: rebinding a received
+//!   exchange to another server process (receptionist/worker teams),
+//!   locally and across kernels;
 //! * [`transfer`] — `MoveTo`/`MoveFrom` bulk transfer: chunk streaming,
 //!   in-order reassembly and transfer acknowledgements;
 //! * [`naming`] — `GetPid` broadcast resolution;
@@ -18,6 +21,7 @@
 //! one body struct, never loose header words.
 
 pub(crate) mod dispatch;
+pub(crate) mod forward;
 pub(crate) mod naming;
 pub(crate) mod send_recv;
 pub(crate) mod timers;

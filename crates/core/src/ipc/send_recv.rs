@@ -384,7 +384,21 @@ impl Ctx<'_> {
         // since exited (the sender's reply was lost, not the exchange).
         if let Some(alien) = self.host.aliens.get(src) {
             if alien.seq == seq {
-                match &alien.state {
+                // A forwarded exchange's duplicate means the client may
+                // have missed the rebind notification: repair it first.
+                let note = alien.forward_note.clone();
+                let forwarded = matches!(alien.state, AlienState::Forwarded { .. });
+                if let Some(note) = note {
+                    self.host.stats.forward_notes_resent += 1;
+                    self.emit_bytes(t, note, src.host());
+                }
+                if forwarded {
+                    // The exchange lives at the forwardee's kernel now;
+                    // the re-sent note is the whole answer.
+                    self.host.stats.duplicates_filtered += 1;
+                    return;
+                }
+                match &self.host.aliens.get(src).expect("still present").state {
                     AlienState::Replied { packet, .. } => {
                         let packet = packet.clone();
                         self.host.stats.duplicates_filtered += 1;

@@ -27,6 +27,15 @@ pub struct KernelStats {
     pub replies_retransmitted: u64,
     /// Aliens allocated.
     pub aliens_allocated: u64,
+    /// `Forward` primitives executed on this host (a received exchange
+    /// handed to another server process).
+    pub forwards: u64,
+    /// Blocked local senders rebound to a forwardee on receipt of a
+    /// Forward rebind notification.
+    pub forward_rebinds: u64,
+    /// Forward rebind notifications re-emitted in answer to a duplicate
+    /// Send (the client evidently missed the first notification).
+    pub forward_notes_resent: u64,
     /// Messages refused for want of an alien descriptor.
     pub aliens_exhausted: u64,
     /// Received frames discarded for checksum failure.

@@ -1,0 +1,467 @@
+//! `Forward` primitive tests: a forwarded request must be replied to by
+//! the forwardee with the original client unblocked — locally, across
+//! hosts, to a third host, and with the forwardee exercising the
+//! client's segment grant via `MoveTo`/`MoveFrom`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use v_kernel::{
+    Access, Api, Cluster, ClusterConfig, CpuSpeed, HostId, Message, Outcome, Pid, Program,
+};
+
+type Log = Rc<RefCell<Vec<String>>>;
+
+fn cluster(hosts: usize) -> Cluster {
+    Cluster::new(ClusterConfig::three_mb().with_hosts(hosts, CpuSpeed::Mc68000At10MHz))
+}
+
+/// Field the client stamps on its request.
+const REQ_TAG: u32 = 0xC11E;
+/// Field the worker stamps on its reply.
+const WORKER_TAG: u32 = 0x3057;
+
+/// Sends `rounds` requests to `to`, logging each reply's worker tag.
+struct Client {
+    to: Pid,
+    rounds: u32,
+    grant: Option<(u32, u32, Access)>,
+    /// Check `(addr, len)` is filled with the byte after each reply
+    /// (verifies a worker `MoveTo` deposited into this space).
+    verify: Option<(u32, u32, u8)>,
+    log: Log,
+}
+impl Client {
+    fn issue(&mut self, api: &mut Api<'_>) {
+        let mut m = Message::empty();
+        m.set_u32(4, REQ_TAG);
+        if let Some((start, len, access)) = self.grant {
+            if access == Access::Read {
+                api.mem_fill(start, len as usize, 0xDA).unwrap();
+            }
+            m.set_segment(start, len, access);
+        }
+        api.send(m, self.to);
+    }
+}
+impl Program for Client {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => self.issue(api),
+            Outcome::Send(Ok(reply)) => {
+                self.log
+                    .borrow_mut()
+                    .push(format!("reply:{:#x}", reply.get_u32(8)));
+                if let Some((addr, len, fill)) = self.verify {
+                    let got = api.mem_read(addr, len as usize).unwrap();
+                    let ok = got.iter().all(|&b| b == fill);
+                    self.log.borrow_mut().push(format!("data:{ok}"));
+                }
+                self.rounds -= 1;
+                if self.rounds == 0 {
+                    api.exit();
+                } else {
+                    self.issue(api);
+                }
+            }
+            Outcome::Send(Err(e)) => {
+                self.log.borrow_mut().push(format!("send-err:{e:?}"));
+                api.exit();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Receives every request and forwards it to `worker`, unchanged.
+struct Receptionist {
+    worker: Pid,
+    log: Log,
+}
+impl Program for Receptionist {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => api.receive(),
+            Outcome::Receive { from, msg } => {
+                let r = api.forward(msg, from, self.worker);
+                self.log.borrow_mut().push(format!("forward:{}", r.is_ok()));
+                api.receive();
+            }
+            _ => api.exit(),
+        }
+    }
+}
+
+/// What the worker does with each forwarded request before replying.
+#[derive(Clone, Copy)]
+enum WorkerOp {
+    /// Reply straight away.
+    Reply,
+    /// Pull `count` bytes of the client's read-granted segment at
+    /// `src` into local memory first, verifying the fill byte.
+    PullThenReply { src: u32, count: u32 },
+    /// Push `count` fill bytes into the client's write-granted segment
+    /// at `dest` first.
+    PushThenReply { dest: u32, count: u32 },
+}
+
+/// Receives forwarded requests and serves them, replying to the client.
+struct Worker {
+    op: WorkerOp,
+    log: Log,
+    current: Option<Pid>,
+}
+impl Worker {
+    fn reply_now(&mut self, api: &mut Api<'_>, to: Pid, req: &Message) {
+        let mut m = Message::empty();
+        m.set_u32(4, req.get_u32(4));
+        m.set_u32(8, WORKER_TAG);
+        let r = api.reply(m, to);
+        self.log.borrow_mut().push(format!("reply:{}", r.is_ok()));
+        api.receive();
+    }
+}
+impl Program for Worker {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match outcome {
+            Outcome::Started => api.receive(),
+            Outcome::Receive { from, msg } => {
+                assert_eq!(msg.get_u32(4), REQ_TAG, "forwarded message intact");
+                match self.op {
+                    WorkerOp::Reply => self.reply_now(api, from, &msg),
+                    WorkerOp::PullThenReply { src, count } => {
+                        self.current = Some(from);
+                        api.move_from(from, 0x4000, src, count);
+                    }
+                    WorkerOp::PushThenReply { dest, count } => {
+                        self.current = Some(from);
+                        api.mem_fill(0x4000, count as usize, 0xEE).unwrap();
+                        api.move_to(from, dest, 0x4000, count);
+                    }
+                }
+            }
+            Outcome::Move(Ok(n)) => {
+                let from = self.current.take().expect("transfer in progress");
+                if let WorkerOp::PullThenReply { count, .. } = self.op {
+                    let got = api.mem_read(0x4000, count as usize).unwrap();
+                    assert!(got.iter().all(|&b| b == 0xDA), "pulled client bytes");
+                }
+                self.log.borrow_mut().push(format!("move:{n}"));
+                let mut m = Message::empty();
+                m.set_u32(8, WORKER_TAG);
+                let _ = api.reply(m, from);
+                api.receive();
+            }
+            Outcome::Move(Err(e)) => panic!("worker transfer failed: {e:?}"),
+            _ => api.exit(),
+        }
+    }
+}
+
+/// Spawns the team and client, runs to quiescence, returns the log and
+/// the cluster for stats inspection.
+#[allow(clippy::too_many_arguments)]
+fn run_forward_verify(
+    client_host: usize,
+    team_host: usize,
+    worker_host: usize,
+    rounds: u32,
+    grant: Option<(u32, u32, Access)>,
+    verify: Option<(u32, u32, u8)>,
+    op: WorkerOp,
+) -> (Vec<String>, Cluster) {
+    let hosts = 1 + client_host.max(team_host).max(worker_host);
+    let mut cl = cluster(hosts);
+    let log: Log = Default::default();
+    let worker = cl.spawn(
+        HostId(worker_host),
+        "worker",
+        Box::new(Worker {
+            op,
+            log: log.clone(),
+            current: None,
+        }),
+    );
+    let recep = cl.spawn(
+        HostId(team_host),
+        "receptionist",
+        Box::new(Receptionist {
+            worker,
+            log: log.clone(),
+        }),
+    );
+    cl.run(); // both blocked in Receive
+    cl.spawn(
+        HostId(client_host),
+        "client",
+        Box::new(Client {
+            to: recep,
+            rounds,
+            grant,
+            verify,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    let v = log.borrow().clone();
+    (v, cl)
+}
+
+fn run_forward(
+    client_host: usize,
+    team_host: usize,
+    worker_host: usize,
+    rounds: u32,
+    grant: Option<(u32, u32, Access)>,
+    op: WorkerOp,
+) -> (Vec<String>, Cluster) {
+    run_forward_verify(client_host, team_host, worker_host, rounds, grant, None, op)
+}
+
+fn count(log: &[String], entry: &str) -> usize {
+    log.iter().filter(|l| *l == entry).count()
+}
+
+#[test]
+fn local_forward_worker_replies_and_client_unblocks() {
+    let (log, cl) = run_forward(0, 0, 0, 3, None, WorkerOp::Reply);
+    assert_eq!(count(&log, "forward:true"), 3, "{log:?}");
+    assert_eq!(count(&log, &format!("reply:{WORKER_TAG:#x}")), 3, "{log:?}");
+    assert_eq!(cl.kernel_stats(HostId(0)).forwards, 3);
+}
+
+#[test]
+fn cross_host_forward_rebinds_the_client_to_the_worker() {
+    // Client on host 0; receptionist and worker share host 1 — the
+    // server-team deployment. The worker's Reply must complete the
+    // client's exchange even though the client sent to the receptionist.
+    let (log, cl) = run_forward(0, 1, 1, 4, None, WorkerOp::Reply);
+    assert_eq!(count(&log, "forward:true"), 4, "{log:?}");
+    assert_eq!(count(&log, &format!("reply:{WORKER_TAG:#x}")), 4, "{log:?}");
+    assert_eq!(cl.kernel_stats(HostId(1)).forwards, 4);
+    assert_eq!(
+        cl.kernel_stats(HostId(0)).forward_rebinds,
+        4,
+        "every exchange rebound on the client's kernel"
+    );
+    assert_eq!(cl.kernel_stats(HostId(0)).send_timeouts, 0);
+}
+
+#[test]
+fn forward_to_a_third_host_hands_the_exchange_off() {
+    // Client, receptionist and worker on three different kernels.
+    let (log, cl) = run_forward(0, 1, 2, 3, None, WorkerOp::Reply);
+    assert_eq!(count(&log, "forward:true"), 3, "{log:?}");
+    assert_eq!(count(&log, &format!("reply:{WORKER_TAG:#x}")), 3, "{log:?}");
+    assert_eq!(cl.kernel_stats(HostId(1)).forwards, 3);
+    assert_eq!(cl.kernel_stats(HostId(0)).forward_rebinds, 3);
+}
+
+#[test]
+fn forward_back_to_the_clients_host_converts_to_a_local_exchange() {
+    // The forwardee lives on the client's own kernel: the rebind note
+    // doubles as the hand-off and the exchange finishes locally.
+    let (log, cl) = run_forward(0, 1, 0, 2, None, WorkerOp::Reply);
+    assert_eq!(count(&log, "forward:true"), 2, "{log:?}");
+    assert_eq!(count(&log, &format!("reply:{WORKER_TAG:#x}")), 2, "{log:?}");
+    assert_eq!(cl.kernel_stats(HostId(1)).forwards, 2);
+}
+
+#[test]
+fn forwardee_pulls_the_clients_segment_with_move_from() {
+    // Page-write shape: the client grants read access on its buffer,
+    // the *worker* (not the receptionist) pulls it, then replies.
+    let (log, _cl) = run_forward(
+        0,
+        1,
+        1,
+        2,
+        Some((0x2000, 256, Access::Read)),
+        WorkerOp::PullThenReply {
+            src: 0x2000,
+            count: 256,
+        },
+    );
+    assert_eq!(count(&log, "move:256"), 2, "{log:?}");
+    assert_eq!(count(&log, &format!("reply:{WORKER_TAG:#x}")), 2, "{log:?}");
+}
+
+#[test]
+fn forwardee_pushes_into_the_clients_segment_with_move_to() {
+    // Page-read shape: the client grants write access on its buffer and
+    // the worker deposits the data before replying; the client checks
+    // its own buffer after each reply.
+    let (log, _cl) = run_forward_verify(
+        0,
+        1,
+        1,
+        2,
+        Some((0x2000, 256, Access::Write)),
+        Some((0x2000, 256, 0xEE)),
+        WorkerOp::PushThenReply {
+            dest: 0x2000,
+            count: 256,
+        },
+    );
+    assert_eq!(count(&log, "move:256"), 2, "{log:?}");
+    assert_eq!(count(&log, &format!("reply:{WORKER_TAG:#x}")), 2, "{log:?}");
+    assert_eq!(
+        count(&log, "data:true"),
+        2,
+        "worker bytes deposited: {log:?}"
+    );
+}
+
+#[test]
+fn forwarding_an_unreceived_exchange_is_refused() {
+    struct BadForwarder {
+        log: Log,
+    }
+    impl Program for BadForwarder {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => {
+                    // Nobody ever sent to us: both a made-up local pid
+                    // and a made-up remote pid must be refused.
+                    let me = api.self_pid();
+                    let local = Pid::new(api.local_host(), 99);
+                    let remote = Pid::new(v_kernel::LogicalHost(2), 7);
+                    for from in [local, remote] {
+                        let r = api.forward(Message::empty(), from, me);
+                        self.log.borrow_mut().push(format!("forward:{r:?}"));
+                    }
+                    api.exit();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    let mut cl = cluster(2);
+    let log: Log = Default::default();
+    cl.spawn(
+        HostId(0),
+        "bad",
+        Box::new(BadForwarder { log: log.clone() }),
+    );
+    cl.run();
+    let v = log.borrow().clone();
+    assert_eq!(v.len(), 2);
+    for entry in &v {
+        assert!(entry.contains("NotAwaitingReply"), "{v:?}");
+    }
+    assert_eq!(cl.kernel_stats(HostId(0)).forwards, 0);
+}
+
+#[test]
+fn forwarded_exchanges_survive_a_lossy_network() {
+    // 12% loss on every delivery: the rebind notification, the hand-off
+    // and the worker's reply all get dropped sometimes. The duplicate-
+    // Send path re-sends the cached note, so every exchange still
+    // completes exactly once.
+    let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
+    cfg.faults = v_net::FaultPlan::with_loss(0.12);
+    let mut cl = Cluster::new(cfg);
+    let log: Log = Default::default();
+    let worker = cl.spawn(
+        HostId(1),
+        "worker",
+        Box::new(Worker {
+            op: WorkerOp::Reply,
+            log: log.clone(),
+            current: None,
+        }),
+    );
+    let recep = cl.spawn(
+        HostId(1),
+        "receptionist",
+        Box::new(Receptionist {
+            worker,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    cl.spawn(
+        HostId(0),
+        "client",
+        Box::new(Client {
+            to: recep,
+            rounds: 25,
+            grant: None,
+            verify: None,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    let v = log.borrow().clone();
+    assert_eq!(
+        count(&v, &format!("reply:{WORKER_TAG:#x}")),
+        25,
+        "every exchange completed: {v:?}"
+    );
+    let client_stats = cl.kernel_stats(HostId(0));
+    assert_eq!(client_stats.send_timeouts, 0);
+    assert_eq!(cl.kernel_stats(HostId(1)).forwards, 25);
+}
+
+#[test]
+fn replying_after_forwarding_is_refused() {
+    // Once forwarded, the exchange no longer belongs to the forwarder.
+    struct ForwardThenReply {
+        worker: Pid,
+        log: Log,
+    }
+    impl Program for ForwardThenReply {
+        fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+            match outcome {
+                Outcome::Started => api.receive(),
+                Outcome::Receive { from, msg } => {
+                    api.forward(msg, from, self.worker).unwrap();
+                    let r = api.reply(Message::empty(), from);
+                    self.log.borrow_mut().push(format!("late-reply:{r:?}"));
+                    api.receive();
+                }
+                _ => api.exit(),
+            }
+        }
+    }
+    let mut cl = cluster(2);
+    let log: Log = Default::default();
+    let worker = cl.spawn(
+        HostId(1),
+        "worker",
+        Box::new(Worker {
+            op: WorkerOp::Reply,
+            log: log.clone(),
+            current: None,
+        }),
+    );
+    let recep = cl.spawn(
+        HostId(1),
+        "recep",
+        Box::new(ForwardThenReply {
+            worker,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    cl.spawn(
+        HostId(0),
+        "client",
+        Box::new(Client {
+            to: recep,
+            rounds: 1,
+            grant: None,
+            verify: None,
+            log: log.clone(),
+        }),
+    );
+    cl.run();
+    let v = log.borrow().clone();
+    assert!(
+        v.iter()
+            .any(|l| l.contains("late-reply:Err(NotAwaitingReply)")),
+        "{v:?}"
+    );
+    // The worker's genuine reply still completed the exchange.
+    assert_eq!(count(&v, &format!("reply:{WORKER_TAG:#x}")), 1, "{v:?}");
+}

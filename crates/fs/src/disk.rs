@@ -6,7 +6,37 @@
 //! This model charges a fixed access latency plus per-byte transfer time,
 //! with optional uniform jitter, and serializes requests (one arm).
 
+use std::collections::VecDeque;
+
 use v_sim::{SimDuration, SimTime, SplitMix64};
+
+/// Counters a [`DiskModel`] accumulates — the queueing-center view of
+/// the spindle that capacity analysis needs: how often requests piled up
+/// behind the arm, how deep the pile got, and how busy the arm was.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests that had to wait behind an earlier one (arm busy).
+    pub queued: u64,
+    /// Total arm-busy (service) time.
+    pub busy: SimDuration,
+    /// Total time requests spent waiting in the queue.
+    pub waited: SimDuration,
+    /// Deepest queue observed, counting the request in service.
+    pub max_queue_depth: u32,
+}
+
+impl DiskStats {
+    /// Arm utilization over an elapsed interval.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
 
 /// A single-spindle disk.
 #[derive(Debug, Clone)]
@@ -19,6 +49,10 @@ pub struct DiskModel {
     pub per_byte: SimDuration,
     rng: SplitMix64,
     busy_until: SimTime,
+    /// Completion times of requests not yet known to have drained
+    /// (pruned lazily against `now` on each request).
+    inflight: VecDeque<SimTime>,
+    stats: DiskStats,
 }
 
 impl DiskModel {
@@ -31,7 +65,14 @@ impl DiskModel {
             per_byte: SimDuration::from_nanos(1_000),
             rng: SplitMix64::new(0xD15C),
             busy_until: SimTime::ZERO,
+            inflight: VecDeque::new(),
+            stats: DiskStats::default(),
         }
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
     }
 
     /// Adds uniform jitter.
@@ -44,6 +85,10 @@ impl DiskModel {
     /// Issues a request for `bytes` at time `now`; returns when the data
     /// is in memory. Requests queue behind each other (one arm).
     pub fn request(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        while self.inflight.front().is_some_and(|&done| done <= now) {
+            self.inflight.pop_front();
+        }
+        let depth = self.inflight.len() as u32;
         let start = now.max(self.busy_until);
         let mut service =
             self.access + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64);
@@ -51,6 +96,14 @@ impl DiskModel {
             service += SimDuration::from_nanos(self.rng.below(self.jitter.as_nanos().max(1)));
         }
         self.busy_until = start + service;
+        self.inflight.push_back(self.busy_until);
+        self.stats.requests += 1;
+        if depth > 0 {
+            self.stats.queued += 1;
+        }
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth + 1);
+        self.stats.busy += service;
+        self.stats.waited += start.since(now);
         self.busy_until
     }
 
@@ -102,5 +155,30 @@ mod tests {
     fn service_estimate_matches_fixed_part() {
         let d = DiskModel::fixed(SimDuration::from_millis(20));
         assert_eq!(d.service_estimate(512), SimDuration::from_micros(20_512));
+    }
+
+    #[test]
+    fn stats_track_queueing_and_busy_time() {
+        let mut d = DiskModel::fixed(SimDuration::from_millis(10));
+        // Three back-to-back requests at t=0: depths 1, 2, 3.
+        d.request(SimTime::ZERO, 0);
+        d.request(SimTime::ZERO, 0);
+        d.request(SimTime::ZERO, 0);
+        let s = d.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.queued, 2, "two requests waited behind the arm");
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.busy, SimDuration::from_millis(30));
+        // Waits: 0 + 10 + 20 ms.
+        assert_eq!(s.waited, SimDuration::from_millis(30));
+        // After the queue drains, a fresh request sees an idle arm.
+        d.request(SimTime::from_millis(100), 0);
+        let s = d.stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.queued, 2);
+        assert_eq!(s.max_queue_depth, 3);
+        // Utilization: 40 ms busy over a 110 ms horizon.
+        let u = s.utilization(SimDuration::from_millis(110));
+        assert!((u - 40.0 / 110.0).abs() < 1e-9);
     }
 }

@@ -17,6 +17,11 @@
 //!   `ReceiveWithSegment`, large reads broken into `MoveTo`s of at most
 //!   one transfer unit (the paper's VAX server used 4 KB), sequential
 //!   read-ahead against the disk model;
+//! * [`team`] — server *teams*: a receptionist that `Forward`s each
+//!   request to an idle worker, so disk waits on one request overlap
+//!   receive and file-system processing on the next
+//!   ([`FileServerConfig::workers`]; `1` = the paper's sequential
+//!   server, bit-identical);
 //! * [`client`] — client-side helpers that format requests and drive
 //!   multi-step operations;
 //! * [`shard`] — sharded file-service placement: a name-hash
@@ -36,12 +41,14 @@ pub mod proto;
 pub mod server;
 pub mod shard;
 pub mod store;
+pub mod team;
 
-pub use disk::DiskModel;
+pub use disk::{DiskModel, DiskStats};
 pub use proto::{IoReply, IoRequest, IoStatus};
-pub use server::{FileServer, FileServerConfig};
+pub use server::{FileServer, FileServerConfig, FileServerStats};
 pub use shard::{spawn_shard_server, ShardMap, ShardedFsClient};
 pub use store::BlockStore;
+pub use team::{spawn_file_server, FileServerTeam};
 
 /// The file system's block (page) size, matching the paper's 512-byte
 /// pages.

@@ -12,11 +12,22 @@
 //! * sequential reads trigger **read-ahead**: the next block is fetched
 //!   from the disk model while the client digests the current one
 //!   (Table 6-2's structure).
+//!
+//! The same state machine serves in two roles. Standalone (the paper's
+//! single sequential server, [`FileServerConfig::workers`]` == 1`), it
+//! receives requests directly from clients. As a **team worker** (see
+//! [`crate::team`]), it receives requests *forwarded* by a receptionist,
+//! replies directly to the client, and then sends an idle notification
+//! back to the receptionist — the store, disk and stats are shared
+//! across the whole team.
 
-use v_kernel::{naming, Api, Outcome, Pid, Program, Scope};
-use v_sim::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
 
-use crate::disk::DiskModel;
+use v_kernel::{naming, Api, Message, Outcome, Pid, Program, Scope};
+use v_sim::{SimDuration, SimTime};
+
+use crate::disk::{DiskModel, DiskStats};
 use crate::proto::{IoOp, IoReply, IoRequest, IoStatus};
 use crate::store::{BlockStore, FileId, StoreError};
 use crate::BLOCK_SIZE;
@@ -27,6 +38,7 @@ pub const SRV_IN: u32 = 0x0400;
 pub const SRV_OUT: u32 = 0x10000;
 
 /// File-server configuration.
+#[derive(Debug, Clone)]
 pub struct FileServerConfig {
     /// The disk behind the store.
     pub disk: DiskModel,
@@ -40,6 +52,13 @@ pub struct FileServerConfig {
     pub read_ahead: bool,
     /// Register under this logical id at startup (scope `Both`).
     pub register: Option<u32>,
+    /// Worker processes serving requests. `1` (the default) is the
+    /// paper's sequential server — one process does everything, and the
+    /// timing is bit-identical to the pre-team implementation. `>= 2`
+    /// spawns a receptionist that `Forward`s each request to an idle
+    /// worker, so one request's disk wait overlaps the next request's
+    /// receive and file-system processing (see [`crate::team`]).
+    pub workers: usize,
 }
 
 impl Default for FileServerConfig {
@@ -50,11 +69,12 @@ impl Default for FileServerConfig {
             transfer_unit: 4096,
             read_ahead: true,
             register: Some(naming::logical::FILE_SERVER),
+            workers: 1,
         }
     }
 }
 
-/// Counters the server accumulates.
+/// Counters the server (or the whole team) accumulates.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FileServerStats {
     /// Requests served, by rough class.
@@ -69,6 +89,40 @@ pub struct FileServerStats {
     pub errors: u64,
     /// Read-ahead hits (no disk wait).
     pub readahead_hits: u64,
+    /// Requests the receptionist forwarded to workers (0 for the
+    /// sequential server).
+    pub forwarded: u64,
+    /// Deepest backlog the receptionist parked while every worker was
+    /// busy.
+    pub parked_peak: u64,
+    /// The shared disk's queueing counters, refreshed on every disk
+    /// request so experiments can report utilization and queue depth
+    /// instead of inferring them.
+    pub disk: DiskStats,
+}
+
+/// State one server team shares: the block store, the single disk arm,
+/// the stats block and the read-ahead slot. The sequential server owns
+/// a private copy of the same structure, so its code path is identical.
+#[derive(Clone)]
+pub(crate) struct SharedServerState {
+    pub(crate) store: Rc<RefCell<BlockStore>>,
+    pub(crate) disk: Rc<RefCell<DiskModel>>,
+    pub(crate) stats: Rc<RefCell<FileServerStats>>,
+    /// (file, block) the pending read-ahead will satisfy, and when the
+    /// disk will have it. Shared: any worker may take the hit.
+    pub(crate) prefetch: Rc<RefCell<Option<(FileId, u32, SimTime)>>>,
+}
+
+impl SharedServerState {
+    pub(crate) fn new(disk: DiskModel, store: BlockStore) -> SharedServerState {
+        SharedServerState {
+            store: Rc::new(RefCell::new(store)),
+            disk: Rc::new(RefCell::new(disk)),
+            stats: Default::default(),
+            prefetch: Default::default(),
+        }
+    }
 }
 
 enum Phase {
@@ -88,44 +142,66 @@ struct Current {
 /// The file-server program.
 pub struct FileServer {
     cfg: FileServerConfig,
-    store: BlockStore,
-    /// Shared stats probe (single-threaded simulator).
-    pub stats: std::rc::Rc<std::cell::RefCell<FileServerStats>>,
+    shared: SharedServerState,
+    /// Team-worker mode: the receptionist to notify after each served
+    /// request (None: standalone sequential server).
+    notify: Option<Pid>,
     phase: Phase,
     current: Option<Current>,
-    /// (file, block) the pending read-ahead will satisfy, and when the
-    /// disk will have it.
-    prefetch: Option<(FileId, u32, v_sim::SimTime)>,
 }
 
 impl FileServer {
-    /// Creates a file server over a pre-populated store.
+    /// Creates a standalone (sequential) file server over a
+    /// pre-populated store.
     pub fn new(cfg: FileServerConfig, store: BlockStore) -> FileServer {
+        let shared = SharedServerState::new(cfg.disk.clone(), store);
+        FileServer::with_shared(cfg, shared, None)
+    }
+
+    /// Creates a server over team-shared state; `notify` puts it in
+    /// worker mode (idle notifications to the receptionist).
+    pub(crate) fn with_shared(
+        cfg: FileServerConfig,
+        shared: SharedServerState,
+        notify: Option<Pid>,
+    ) -> FileServer {
         FileServer {
             cfg,
-            store,
-            stats: Default::default(),
+            shared,
+            notify,
             phase: Phase::Idle,
             current: None,
-            prefetch: None,
         }
     }
 
     /// Handle to the server's counters.
-    pub fn stats_handle(&self) -> std::rc::Rc<std::cell::RefCell<FileServerStats>> {
-        self.stats.clone()
+    pub fn stats_handle(&self) -> Rc<RefCell<FileServerStats>> {
+        self.shared.stats.clone()
+    }
+
+    /// Issues a disk request and refreshes the surfaced disk counters.
+    fn disk_request(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let done = self.shared.disk.borrow_mut().request(now, bytes);
+        self.shared.stats.borrow_mut().disk = self.shared.disk.borrow().stats();
+        done
     }
 
     fn rearm(&mut self, api: &mut Api<'_>) {
         self.phase = Phase::Idle;
         self.current = None;
-        api.receive_with_segment(SRV_IN, BLOCK_SIZE as u32);
+        match self.notify {
+            // Sequential: wait for the next client request directly.
+            None => api.receive_with_segment(SRV_IN, BLOCK_SIZE as u32),
+            // Team worker: report idle to the receptionist; the next
+            // forwarded request arrives after its reply (see resume).
+            Some(receptionist) => api.send(Message::empty(), receptionist),
+        }
     }
 
     fn reply_status(&mut self, api: &mut Api<'_>, status: IoStatus, value: u32, file: FileId) {
         let cur = self.current.as_ref().expect("request in progress");
         if status != IoStatus::Ok {
-            self.stats.borrow_mut().errors += 1;
+            self.shared.stats.borrow_mut().errors += 1;
         }
         let reply = IoReply {
             status,
@@ -153,40 +229,48 @@ impl FileServer {
         let seg_len = cur.seg_len;
         match req.op {
             IoOp::Open => {
-                self.stats.borrow_mut().meta += 1;
+                self.shared.stats.borrow_mut().meta += 1;
                 let name_bytes = api.mem_read(SRV_IN, seg_len as usize).expect("in buffer");
                 let name = String::from_utf8_lossy(&name_bytes).into_owned();
-                match self.store.open(&name) {
+                let opened = self.shared.store.borrow().open(&name);
+                match opened {
                     Ok(id) => {
-                        let len = self.store.len(id).expect("exists") as u32;
+                        let len = self.shared.store.borrow().len(id).expect("exists") as u32;
                         self.reply_status(api, IoStatus::Ok, len, id);
                     }
                     Err(e) => self.reply_status(api, Self::store_status(e), 0, FileId(0)),
                 }
             }
             IoOp::Create => {
-                self.stats.borrow_mut().meta += 1;
+                self.shared.stats.borrow_mut().meta += 1;
                 let name_bytes = api.mem_read(SRV_IN, seg_len as usize).expect("in buffer");
                 let name = String::from_utf8_lossy(&name_bytes).into_owned();
-                match self.store.create(&name, req.aux as usize) {
+                let created = self
+                    .shared
+                    .store
+                    .borrow_mut()
+                    .create(&name, req.aux as usize);
+                match created {
                     Ok(id) => self.reply_status(api, IoStatus::Ok, req.aux, id),
                     Err(e) => self.reply_status(api, Self::store_status(e), 0, FileId(0)),
                 }
             }
             IoOp::Query => {
-                self.stats.borrow_mut().meta += 1;
-                match self.store.len(req.file) {
+                self.shared.stats.borrow_mut().meta += 1;
+                let len = self.shared.store.borrow().len(req.file);
+                match len {
                     Ok(len) => self.reply_status(api, IoStatus::Ok, len as u32, req.file),
                     Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
                 }
             }
             IoOp::Read => {
                 // Read-ahead hit?
-                if let Some((f, b, ready)) = self.prefetch {
+                let pending = *self.shared.prefetch.borrow();
+                if let Some((f, b, ready)) = pending {
                     if f == req.file && b == req.block {
-                        self.prefetch = None;
+                        *self.shared.prefetch.borrow_mut() = None;
                         if api.now() >= ready {
-                            self.stats.borrow_mut().readahead_hits += 1;
+                            self.shared.stats.borrow_mut().readahead_hits += 1;
                             self.serve_read(api);
                             return;
                         }
@@ -196,10 +280,7 @@ impl FileServer {
                         return;
                     }
                 }
-                let done = self
-                    .cfg
-                    .disk
-                    .request(api.now(), req.count.min(BLOCK_SIZE as u32) as usize);
+                let done = self.disk_request(api.now(), req.count.min(BLOCK_SIZE as u32) as usize);
                 self.phase = Phase::DiskWait;
                 api.delay(done.since(api.now()));
             }
@@ -217,13 +298,13 @@ impl FileServer {
                         count - seg_len,
                     );
                 } else {
-                    let done = self.cfg.disk.request(api.now(), count as usize);
+                    let done = self.disk_request(api.now(), count as usize);
                     self.phase = Phase::DiskWait;
                     api.delay(done.since(api.now()));
                 }
             }
             IoOp::ReadLarge => {
-                let done = self.cfg.disk.request(api.now(), req.count as usize);
+                let done = self.disk_request(api.now(), req.count as usize);
                 self.phase = Phase::DiskWait;
                 api.delay(done.since(api.now()));
             }
@@ -235,14 +316,16 @@ impl FileServer {
         let cur = self.current.as_ref().expect("request in progress");
         let req = cur.req;
         let from = cur.from;
-        match self
+        let read: Result<Vec<u8>, StoreError> = self
+            .shared
             .store
+            .borrow()
             .read_block(req.file, req.block, req.count as usize)
-        {
+            .map(|d| d.to_vec());
+        match read {
             Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
             Ok(data) => {
                 let n = data.len() as u32;
-                let data = data.to_vec();
                 api.mem_write(SRV_OUT, &data).expect("staging fits");
                 let reply = IoReply {
                     status: IoStatus::Ok,
@@ -255,15 +338,16 @@ impl FileServer {
                     .reply_with_segment(reply, from, req.buffer, SRV_OUT, n)
                     .is_err()
                 {
-                    self.stats.borrow_mut().errors += 1;
+                    self.shared.stats.borrow_mut().errors += 1;
                 }
-                self.stats.borrow_mut().reads += 1;
-                // Read-ahead: start fetching the next block now.
+                self.shared.stats.borrow_mut().reads += 1;
+                // Read-ahead: start fetching the next block now. The
+                // existence probe is free — no block copy.
                 if self.cfg.read_ahead {
                     let next = req.block + 1;
-                    if self.store.read_block(req.file, next, BLOCK_SIZE).is_ok() {
-                        let ready = self.cfg.disk.request(api.now(), BLOCK_SIZE);
-                        self.prefetch = Some((req.file, next, ready));
+                    if self.shared.store.borrow().has_block(req.file, next) {
+                        let ready = self.disk_request(api.now(), BLOCK_SIZE);
+                        *self.shared.prefetch.borrow_mut() = Some((req.file, next, ready));
                     }
                 }
                 self.rearm(api);
@@ -277,9 +361,14 @@ impl FileServer {
         let req = cur.req;
         let count = req.count.min(BLOCK_SIZE as u32);
         let data = api.mem_read(SRV_IN, count as usize).expect("in buffer");
-        match self.store.write_block(req.file, req.block, &data) {
+        let wrote = self
+            .shared
+            .store
+            .borrow_mut()
+            .write_block(req.file, req.block, &data);
+        match wrote {
             Ok(()) => {
-                self.stats.borrow_mut().writes += 1;
+                self.shared.stats.borrow_mut().writes += 1;
                 self.reply_status(api, IoStatus::Ok, count, req.file);
             }
             Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
@@ -338,16 +427,23 @@ impl Program for FileServer {
                     IoOp::Read => self.serve_read(api),
                     IoOp::Write => self.serve_write(api),
                     IoOp::ReadLarge => {
-                        let cur = self.current.as_ref().expect("in progress");
-                        let req = cur.req;
-                        match self.store.read_range(
-                            req.file,
-                            req.block as usize * BLOCK_SIZE,
-                            req.count as usize,
-                        ) {
-                            Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+                        let (file, offset, count) = {
+                            let cur = self.current.as_ref().expect("in progress");
+                            (
+                                cur.req.file,
+                                cur.req.block as usize * BLOCK_SIZE,
+                                cur.req.count as usize,
+                            )
+                        };
+                        let read: Result<Vec<u8>, StoreError> = self
+                            .shared
+                            .store
+                            .borrow()
+                            .read_range(file, offset, count)
+                            .map(|d| d.to_vec());
+                        match read {
+                            Err(e) => self.reply_status(api, Self::store_status(e), 0, file),
                             Ok(data) => {
-                                let data = data.to_vec();
                                 api.mem_write(SRV_OUT, &data).expect("staging fits");
                                 self.push_large(api, 0);
                             }
@@ -369,30 +465,34 @@ impl Program for FileServer {
                         let (from, buffer) = (cur.from, cur.req.buffer);
                         api.move_from(from, SRV_IN + have, buffer + have, count - have);
                     } else {
-                        let done = self.cfg.disk.request(api.now(), count as usize);
+                        let done = self.disk_request(api.now(), count as usize);
                         self.phase = Phase::DiskWait;
                         api.delay(done.since(api.now()));
                     }
                 }
                 Phase::Pushing { pushed } => {
-                    let (count, file, tag) = {
+                    let (count, file) = {
                         let cur = self.current.as_ref().expect("in progress");
-                        (cur.req.count, cur.req.file, cur.req.tag)
+                        (cur.req.count, cur.req.file)
                     };
                     let pushed = pushed + n;
                     if pushed < count {
                         self.push_large(api, pushed);
                     } else {
-                        self.stats.borrow_mut().large_reads += 1;
-                        let _ = tag;
+                        self.shared.stats.borrow_mut().large_reads += 1;
                         self.reply_status(api, IoStatus::Ok, pushed, file);
                     }
                 }
                 _ => self.rearm(api),
             },
             Outcome::Move(Err(_)) => {
-                self.stats.borrow_mut().errors += 1;
+                self.shared.stats.borrow_mut().errors += 1;
                 self.reply_status(api, IoStatus::Error, 0, FileId(0));
+            }
+            // Team worker only: the receptionist acknowledged our idle
+            // notification — wait for the next forwarded request.
+            Outcome::Send(Ok(_)) if self.notify.is_some() => {
+                api.receive_with_segment(SRV_IN, BLOCK_SIZE as u32);
             }
             _ => api.exit(),
         }

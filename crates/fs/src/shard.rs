@@ -8,7 +8,7 @@
 //! insists file access needs none:
 //!
 //! * [`ShardMap`] — a deterministic directory partition: file *names*
-//!   hash to one of `N` shards, and each shard's [`FileServer`]
+//!   hash to one of `N` shards, and each shard's file server
 //!   registers under a distinct well-known logical id;
 //! * [`ShardedFsClient`] — a scripted client that routes each open or
 //!   create to the owning shard by name, **caches the owning server per
@@ -25,7 +25,7 @@ use v_kernel::{naming::Scope, Api, Cluster, HostId, Outcome, Pid, Program};
 
 use crate::client::{check_reply, issue_call, FsCall, FsClientReport};
 use crate::proto::IoReply;
-use crate::server::{FileServer, FileServerConfig};
+use crate::server::FileServerConfig;
 use crate::store::{BlockStore, FileId};
 
 /// First logical id of the sharded file-service range: shard `i`
@@ -96,7 +96,10 @@ impl ShardMap {
 
 /// Spawns shard `i`'s file server on `host`, registered under the
 /// shard's logical id (scope `Both`, so remote kernels resolve it by
-/// broadcast) and serving `store`.
+/// broadcast) and serving `store`. `cfg.workers` picks the shape: `1`
+/// is the sequential server, `>= 2` a pipelined receptionist/worker
+/// team ([`crate::team::spawn_file_server`]); clients address the
+/// returned pid either way.
 pub fn spawn_shard_server(
     cl: &mut Cluster,
     host: HostId,
@@ -109,11 +112,7 @@ pub fn spawn_shard_server(
         register: Some(map.logical_id(shard)),
         ..cfg
     };
-    cl.spawn(
-        host,
-        &format!("fileserver-shard{shard}"),
-        Box::new(FileServer::new(cfg, store)),
-    )
+    crate::team::spawn_file_server(cl, host, cfg, store).server
 }
 
 /// How a [`ShardedFsClient`] learns the shard servers' pids.
@@ -289,6 +288,7 @@ impl Program for ShardedFsClient {
 mod tests {
     use super::*;
     use crate::disk::DiskModel;
+    use crate::server::FileServer;
     use crate::BLOCK_SIZE;
     use v_kernel::{ClusterConfig, CpuSpeed};
     use v_net::MeshConfig;

@@ -138,6 +138,16 @@ impl BlockStore {
         self.files.get_mut(i).ok_or(StoreError::NotFound)
     }
 
+    /// True if `block` exists in file `id` — the cheap existence probe
+    /// read-ahead planning needs (a [`BlockStore::read_block`] would
+    /// copy a whole block just to answer the same question).
+    pub fn has_block(&self, id: FileId, block: u32) -> bool {
+        self.file(id).is_ok_and(|f| {
+            let start = block as usize * BLOCK_SIZE;
+            start < f.data.len() || (start == 0 && f.data.is_empty())
+        })
+    }
+
     /// Reads up to `count` bytes of block `block` (the tail block may be
     /// short).
     pub fn read_block(&self, id: FileId, block: u32, count: usize) -> Result<&[u8], StoreError> {
@@ -234,6 +244,21 @@ mod tests {
         // Ids below the base belong to another shard's store.
         assert_eq!(s.len(FileId(0)).unwrap_err(), StoreError::NotFound);
         assert_eq!(s.len(FileId(0x0FFF)).unwrap_err(), StoreError::NotFound);
+    }
+
+    #[test]
+    fn has_block_agrees_with_read_block() {
+        let mut s = BlockStore::new();
+        let id = s.create("f", 600).unwrap();
+        let empty = s.create("e", 0).unwrap();
+        for (file, block) in [(id, 0), (id, 1), (id, 2), (empty, 0), (empty, 1)] {
+            assert_eq!(
+                s.has_block(file, block),
+                s.read_block(file, block, BLOCK_SIZE).is_ok(),
+                "file {file:?} block {block}"
+            );
+        }
+        assert!(!s.has_block(FileId(999), 0), "unknown file has no blocks");
     }
 
     #[test]

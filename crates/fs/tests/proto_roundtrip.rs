@@ -1,0 +1,93 @@
+//! Property tests: every representable I/O request and reply must
+//! survive the 32-byte message packing unchanged — including with the
+//! kernel's segment flag bits set, which share the message with the
+//! protocol fields.
+
+use proptest::prelude::*;
+use v_fs::proto::{IoOp, IoReply, IoRequest, IoStatus};
+use v_fs::store::FileId;
+use v_kernel::Access;
+
+proptest! {
+    /// Request encode/decode is the identity for every opcode and any
+    /// field values.
+    #[test]
+    fn io_request_round_trips(
+        op in 1u8..=6,
+        file in any::<u16>(),
+        block in any::<u32>(),
+        count in any::<u32>(),
+        buffer in any::<u32>(),
+        aux in any::<u32>(),
+        tag in any::<u16>(),
+    ) {
+        let req = IoRequest {
+            op: IoOp::from_u8(op).expect("valid opcode range"),
+            file: FileId(file),
+            block,
+            count,
+            buffer,
+            aux,
+            tag,
+        };
+        prop_assert_eq!(IoRequest::decode(&req.encode()), Some(req));
+    }
+
+    /// Round trip with a segment grant stamped on the message: the
+    /// grant lives in byte 0 and bytes 24–31, which the protocol fields
+    /// must never clobber (and vice versa).
+    #[test]
+    fn io_request_round_trips_with_segment_bits(
+        op in 1u8..=6,
+        file in any::<u16>(),
+        block in any::<u32>(),
+        count in any::<u32>(),
+        tag in any::<u16>(),
+        seg_start in any::<u32>(),
+        seg_len in any::<u32>(),
+        write_access in any::<bool>(),
+    ) {
+        let req = IoRequest {
+            op: IoOp::from_u8(op).expect("valid opcode range"),
+            file: FileId(file),
+            block,
+            count,
+            buffer: 0x2000,
+            aux: 0,
+            tag,
+        };
+        let mut m = req.encode();
+        let access = if write_access { Access::Write } else { Access::Read };
+        m.set_segment(seg_start, seg_len, access);
+        prop_assert_eq!(IoRequest::decode(&m), Some(req));
+        let g = m.segment().expect("grant survives");
+        prop_assert_eq!(g.start, seg_start);
+        prop_assert_eq!(g.len, seg_len);
+    }
+
+    /// Reply encode/decode is the identity for every status code.
+    #[test]
+    fn io_reply_round_trips(
+        status in 0u8..=4,
+        file in any::<u16>(),
+        value in any::<u32>(),
+        tag in any::<u16>(),
+    ) {
+        let reply = IoReply {
+            status: IoStatus::from_u8(status),
+            file: FileId(file),
+            value,
+            tag,
+        };
+        prop_assert_eq!(IoReply::decode(&reply.encode()), reply);
+    }
+}
+
+/// Undefined status bytes all collapse to `Error` — a forward-compatible
+/// decode, pinned so a new status code cannot silently alias.
+#[test]
+fn unknown_status_bytes_decode_as_error() {
+    for b in 5u8..=255 {
+        assert_eq!(IoStatus::from_u8(b), IoStatus::Error);
+    }
+}

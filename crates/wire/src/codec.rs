@@ -24,8 +24,8 @@
 //! structs, never with loose header words.
 
 use crate::packet::{
-    GetPidReply, GetPidReq, MoveFromData, MoveFromReq, MoveToData, MsgBytes, Packet, PacketBody,
-    PacketKind, ReplyBody, SendBody, TransferAck, TransferStatus, HEADER_LEN, MSG_LEN,
+    ForwardBody, GetPidReply, GetPidReq, MoveFromData, MoveFromReq, MoveToData, MsgBytes, Packet,
+    PacketBody, PacketKind, ReplyBody, SendBody, TransferAck, TransferStatus, HEADER_LEN, MSG_LEN,
 };
 
 /// Flag bit: final chunk of a bulk transfer.
@@ -161,6 +161,13 @@ pub fn encode(p: &Packet) -> Vec<u8> {
             word_a = b.logical_id;
             word_b = b.pid;
             word_c = 0;
+        }
+        PacketBody::Forward(b) => {
+            word_a = b.client;
+            word_b = b.new_server;
+            word_c = b.appended_from;
+            payload.extend_from_slice(&b.msg);
+            payload.extend_from_slice(&b.appended);
         }
     }
 
@@ -308,6 +315,16 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
                 pid: word_b,
             })
         }
+        PacketKind::Forward => {
+            let (msg, appended) = take_msg(payload)?;
+            PacketBody::Forward(ForwardBody {
+                client: word_a,
+                new_server: word_b,
+                msg,
+                appended,
+                appended_from: word_c,
+            })
+        }
     };
 
     Ok(Packet {
@@ -424,6 +441,30 @@ mod tests {
                 body: PacketBody::GetPidReply(GetPidReply {
                     logical_id: 3,
                     pid: 0x0002_0001,
+                }),
+            },
+            Packet {
+                seq: 12,
+                src_pid: 0x0002_0001, // the forwarder
+                dst_pid: 0x0001_0002, // the client being rebound
+                body: PacketBody::Forward(ForwardBody {
+                    client: 0x0001_0002,
+                    new_server: 0x0002_0009,
+                    msg,
+                    appended: vec![3; 48],
+                    appended_from: 0x3000,
+                }),
+            },
+            Packet {
+                seq: 12,
+                src_pid: 0x0002_0001,
+                dst_pid: 0x0003_0005, // hand-off to a third-host worker
+                body: PacketBody::Forward(ForwardBody {
+                    client: 0x0001_0002,
+                    new_server: 0x0003_0005,
+                    msg,
+                    appended: vec![],
+                    appended_from: 0,
                 }),
             },
         ]

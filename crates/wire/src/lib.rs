@@ -11,10 +11,10 @@
 //!   32-byte message rides in a 64-byte datagram exactly as the paper's
 //!   packet accounting assumes;
 //! * typed per-kind bodies ([`PacketBody`], one struct per kind): message
-//!   exchange (`Send`, `Reply`, `ReplyPending`, `Nack`), bulk transfer
-//!   (`MoveToData`, `MoveFromReq`, `MoveFromData`, `TransferAck`) and
-//!   naming (`GetPidReq`, `GetPidReply`) — decoded exactly once, so kernel
-//!   handlers consume structs rather than loose header words;
+//!   exchange (`Send`, `Reply`, `ReplyPending`, `Nack`, `Forward`), bulk
+//!   transfer (`MoveToData`, `MoveFromReq`, `MoveFromData`, `TransferAck`)
+//!   and naming (`GetPidReq`, `GetPidReply`) — decoded exactly once, so
+//!   kernel handlers consume structs rather than loose header words;
 //! * a 32-bit checksum over the whole packet, which is how receivers
 //!   detect the corruption injected by the simulated medium (including the
 //!   §5.4 collision-bug corruptions).
@@ -24,6 +24,6 @@ pub mod packet;
 
 pub use codec::{decode, encode, WireError};
 pub use packet::{
-    GetPidReply, GetPidReq, MoveFromData, MoveFromReq, MoveToData, MsgBytes, Packet, PacketBody,
-    PacketKind, ReplyBody, SendBody, TransferAck, TransferStatus, HEADER_LEN, MSG_LEN,
+    ForwardBody, GetPidReply, GetPidReq, MoveFromData, MoveFromReq, MoveToData, MsgBytes, Packet,
+    PacketBody, PacketKind, ReplyBody, SendBody, TransferAck, TransferStatus, HEADER_LEN, MSG_LEN,
 };

@@ -50,6 +50,13 @@ pub enum PacketKind {
     GetPidReq = 9,
     /// Answer to a [`PacketKind::GetPidReq`].
     GetPidReply = 10,
+    /// `Forward`: a received message is handed to another server process,
+    /// which replies to the original client directly (the receptionist /
+    /// worker pattern). On the wire the same packet serves two roles:
+    /// addressed to the client it *rebinds* the blocked exchange to the
+    /// new server; addressed to the new server's kernel it *hands off*
+    /// the message like a Send.
+    Forward = 11,
 }
 
 impl PacketKind {
@@ -66,6 +73,7 @@ impl PacketKind {
             8 => PacketKind::TransferAck,
             9 => PacketKind::GetPidReq,
             10 => PacketKind::GetPidReply,
+            11 => PacketKind::Forward,
             _ => return None,
         })
     }
@@ -189,6 +197,27 @@ pub struct GetPidReply {
     pub pid: u32,
 }
 
+/// Contents of a [`PacketKind::Forward`] packet.
+///
+/// The header's `src_pid` names the forwarder (the server the exchange
+/// was originally addressed to), `seq` the exchange's sequence number,
+/// and `dst_pid` the kernel-level addressee: the client for the rebind
+/// role, the new server for the hand-off role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardBody {
+    /// The original sending process whose exchange is being forwarded.
+    pub client: u32,
+    /// The server process the exchange now belongs to.
+    pub new_server: u32,
+    /// The (possibly rewritten) 32-byte message being forwarded.
+    pub msg: MsgBytes,
+    /// Appended segment prefix travelling with the message (the bytes
+    /// the original Send carried), if any.
+    pub appended: Vec<u8>,
+    /// Address in the *client's* space the appended bytes came from.
+    pub appended_from: u32,
+}
+
 /// An interkernel packet.
 ///
 /// `seq` disambiguates retransmissions: for message exchange it is the
@@ -238,6 +267,8 @@ pub enum PacketBody {
     GetPidReq(GetPidReq),
     /// See [`PacketKind::GetPidReply`].
     GetPidReply(GetPidReply),
+    /// See [`PacketKind::Forward`].
+    Forward(ForwardBody),
 }
 
 impl Packet {
@@ -254,6 +285,7 @@ impl Packet {
             PacketBody::TransferAck(_) => PacketKind::TransferAck,
             PacketBody::GetPidReq(_) => PacketKind::GetPidReq,
             PacketBody::GetPidReply(_) => PacketKind::GetPidReply,
+            PacketBody::Forward(_) => PacketKind::Forward,
         }
     }
 
@@ -264,6 +296,7 @@ impl Packet {
             PacketBody::Reply(b) => MSG_LEN + b.seg.len(),
             PacketBody::MoveToData(b) => b.data.len(),
             PacketBody::MoveFromData(b) => b.data.len(),
+            PacketBody::Forward(b) => MSG_LEN + b.appended.len(),
             _ => 0,
         }
     }
@@ -291,6 +324,7 @@ mod tests {
             PacketKind::TransferAck,
             PacketKind::GetPidReq,
             PacketKind::GetPidReply,
+            PacketKind::Forward,
         ] {
             assert_eq!(PacketKind::from_u8(k as u8), Some(k));
         }

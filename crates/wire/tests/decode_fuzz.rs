@@ -5,7 +5,9 @@
 //! crashing.
 
 use proptest::prelude::*;
-use v_wire::{decode, encode, Packet, PacketBody, SendBody, WireError, HEADER_LEN, MSG_LEN};
+use v_wire::{
+    decode, encode, ForwardBody, Packet, PacketBody, SendBody, WireError, HEADER_LEN, MSG_LEN,
+};
 
 /// FNV-1a 32-bit, restated from the wire format spec so tests can forge
 /// "valid checksum, invalid body" packets that exercise body parsing.
@@ -42,9 +44,48 @@ fn sample_send() -> Packet {
     }
 }
 
+fn sample_forward() -> Packet {
+    Packet {
+        seq: 9,
+        src_pid: 0x0002_0001,
+        dst_pid: 0x0001_0002,
+        body: PacketBody::Forward(ForwardBody {
+            client: 0x0001_0002,
+            new_server: 0x0002_0007,
+            msg: [0xCD; MSG_LEN],
+            appended: vec![0x11; 40],
+            appended_from: 0x3000,
+        }),
+    }
+}
+
+#[test]
+fn every_truncation_of_a_forward_packet_is_rejected() {
+    let bytes = encode(&sample_forward());
+    for cut in 0..bytes.len() {
+        let err = decode(&bytes[..cut]).expect_err("truncation must not decode");
+        match err {
+            WireError::TooShort | WireError::LengthMismatch { .. } => {}
+            other => panic!("unexpected error class for cut {cut}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_forward_bytes_never_decode_as_valid() {
+    let bytes = encode(&sample_forward());
+    for victim in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[victim] ^= 0x5A;
+        if let Ok(p) = decode(&bad) {
+            panic!("corruption at byte {victim} not detected: {p:?}");
+        }
+    }
+}
+
 #[test]
 fn unknown_kind_with_valid_checksum_is_err_not_panic() {
-    for kind in [0u8, 11, 42, 0xFF] {
+    for kind in [0u8, 12, 42, 0xFF] {
         let mut bytes = encode(&sample_send());
         bytes[0] = kind;
         fix_checksum(&mut bytes);
@@ -66,8 +107,8 @@ fn bad_transfer_status_with_valid_checksum_is_malformed() {
 
 #[test]
 fn message_bodies_shorter_than_a_message_are_malformed() {
-    // Send and Reply both require a full 32-byte message up front.
-    for kind in [1u8, 2] {
+    // Send, Reply and Forward all require a full 32-byte message up front.
+    for kind in [1u8, 2, 11] {
         for short_len in [0usize, 1, MSG_LEN - 1] {
             let mut header = [0u8; HEADER_LEN];
             header[0] = kind;
