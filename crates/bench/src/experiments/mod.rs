@@ -2,10 +2,12 @@
 //!
 //! Each function builds fresh clusters, runs the paper's measurement
 //! procedure, and returns a [`Comparison`](crate::report::Comparison) of
-//! published vs measured values. See DESIGN.md §4 for the experiment
-//! index.
+//! published vs measured values. `docs/BENCHMARKS.md` (repository root)
+//! is the experiment index: ids, paper counterparts, the JSON artifact
+//! format and the CI deviation gate.
 
 mod ablations;
+mod failover;
 mod fileserver;
 mod multi;
 mod pipeline;
@@ -21,6 +23,7 @@ mod wan;
 pub use ablations::{
     ip_encapsulation, netserver_relay, protocol_ablations, streaming_comparison, wfs_comparison,
 };
+pub use failover::{failover, failover_with_rounds};
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;
 pub use pipeline::{pipeline_contention, pipeline_with_rounds};

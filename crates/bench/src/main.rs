@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|pipeline|ablate]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|ablate]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -14,8 +14,9 @@
 //! `--check PCT` exits nonzero if any produced table's worst deviation
 //! from the paper exceeds `PCT` percent — the CI regression gate.
 //!
-//! `--smoke` runs Table 4-1, the WAN table, the shard-placement table
-//! and the server-team pipelining table with tiny round counts: a cheap end-to-end exercise of the
+//! `--smoke` runs Table 4-1, the WAN table, the shard-placement table,
+//! the replica-failover table and the server-team pipelining table with
+//! tiny round counts: a cheap end-to-end exercise of the
 //! experiment pipeline for CI, not a measurement. It cannot be combined
 //! with experiment ids, but accepts `--json` / `--check`.
 
@@ -42,6 +43,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "streaming" => exp::streaming_comparison(),
         "wan" => exp::wan_topologies(),
         "shard" => exp::shard_placement(),
+        "failover" => exp::failover(),
         "pipeline" => exp::pipeline_contention(),
         "ablate" => exp::protocol_ablations(),
         other => {
@@ -51,7 +53,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "4-1",
     "5-1",
     "5-2",
@@ -67,6 +69,7 @@ const ALL: [&str; 17] = [
     "streaming",
     "wan",
     "shard",
+    "failover",
     "pipeline",
     "ablate",
 ];
@@ -167,13 +170,15 @@ fn main() {
         ok &= process(&w, "wan", &opts);
         let s = exp::shard_with_rounds(40);
         ok &= process(&s, "shard", &opts);
+        let f = exp::failover_with_rounds(40);
+        ok &= process(&f, "failover", &opts);
         let p = exp::pipeline_with_rounds(8);
         ok &= process(&p, "pipeline", &opts);
         if !ok {
             std::process::exit(2);
         }
         println!(
-            "smoke OK: Table 4-1, WAN, shard and server-team pipelines ran end to end \
+            "smoke OK: Table 4-1, WAN, shard, failover and server-team pipelines ran end to end \
              (tiny rounds, not a measurement)"
         );
         return;

@@ -212,6 +212,33 @@ fn shard_placement_orders_by_hops_and_preserves_the_baseline() {
 }
 
 #[test]
+fn failover_bounds_the_spike_and_recovers_steady_latency() {
+    let c = exp::failover_with_rounds(60);
+    let control = metric_of(&c, "steady read, no-fault control");
+    let before = metric_of(&c, "read latency before crash");
+    let after = metric_of(&c, "read latency after failover");
+    let spike = metric_of(&c, "failover spike (worst read)");
+    // Reads outside the failover window track the no-fault control.
+    assert!(
+        (before - control).abs() / control < 0.25,
+        "pre-crash reads drifted from control: {before:.3} vs {control:.3} ms"
+    );
+    assert!(
+        (after - control).abs() / control < 0.25,
+        "post-failover reads drifted from control: {after:.3} vs {control:.3} ms"
+    );
+    // The spike is the kernel's failure detection, bounded by the
+    // retransmission budget: 13 x 200 ms ladder plus one read. It must
+    // be large (the budget dominates) but bounded (no hang, no pile-up).
+    assert!(
+        spike > 2000.0 && spike < 3500.0,
+        "spike outside the detection-budget window: {spike:.1} ms"
+    );
+    assert_eq!(metric_of(&c, "failovers"), 1.0, "one switch, then stable");
+    assert_eq!(metric_of(&c, "reads completed"), 61.0, "open + 60 reads");
+}
+
+#[test]
 fn pipelining_beats_sequential_under_fan_in_and_keeps_workers_1_bit_identical() {
     let c = exp::pipeline_with_rounds(20);
     // Bit-identical: the team refactor must not move the paper-shaped

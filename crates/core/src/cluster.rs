@@ -113,6 +113,8 @@ impl Cluster {
                 out_serves: Default::default(),
                 raw: Default::default(),
                 stats: KernelStats::default(),
+                up: true,
+                suspects: Default::default(),
             });
         }
         let n = hosts.len();
@@ -259,6 +261,78 @@ impl Cluster {
         );
     }
 
+    /// True while `host` is up (not crashed).
+    pub fn host_is_up(&self, host: HostId) -> bool {
+        self.hosts[host.0].up
+    }
+
+    /// Crashes a host: every process, alien descriptor, in-flight
+    /// transfer, name registration and learned address on it is lost,
+    /// and the interface stops hearing frames. Peer kernels notice only
+    /// through the protocol: their retransmission budgets run out and
+    /// their `Send`s fail with [`KernelError::HostDown`]. A no-op if the
+    /// host is already down.
+    pub fn crash_host(&mut self, host: HostId) {
+        let addressing = self.cfg.addressing;
+        let pool = self.cfg.protocol.alien_pool;
+        let h = &mut self.hosts[host.0];
+        if !h.up {
+            return;
+        }
+        h.up = false;
+        h.stats.crashes += 1;
+        h.stats.processes_exited += h.procs.len() as u64;
+        h.procs.clear();
+        h.aliens = AlienTable::new(pool);
+        h.names = NameTable::new();
+        h.hostmap = HostMap::new(addressing);
+        h.suspects.clear();
+        h.out_moves.clear();
+        h.in_moves.clear();
+        h.in_fetches.clear();
+        h.out_serves.clear();
+        h.raw.clear();
+        // Timers and events still queued against this host become no-ops
+        // at dispatch; `stats` survive as the simulation's accounting.
+    }
+
+    /// Restarts a crashed host with an empty kernel: no processes, no
+    /// registrations — scenarios respawn services explicitly. The local
+    /// uid counter is *not* rewound, so stale pids from before the crash
+    /// never collide with new processes (senders holding them get a
+    /// clean Nack → [`KernelError::NonexistentProcess`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is up.
+    pub fn restart_host(&mut self, host: HostId) {
+        let h = &mut self.hosts[host.0];
+        assert!(!h.up, "restart_host({host:?}): host is not crashed");
+        h.up = true;
+        h.stats.restarts += 1;
+    }
+
+    /// Replaces the transport's fault plan at the current instant —
+    /// the runtime counterpart of [`ClusterConfig::faults`], used by
+    /// chaos schedules to open and heal lossy periods or partitions.
+    pub fn set_faults(&mut self, plan: v_net::FaultPlan) {
+        self.net.set_faults(plan);
+    }
+
+    /// Takes gateway `idx` of a mesh topology out of service: its queue
+    /// is lost and routes are recomputed without it (possibly leaving
+    /// segments unreachable — a partition). Returns false if the
+    /// topology has no such gateway or it is already down.
+    pub fn fail_gateway(&mut self, idx: usize) -> bool {
+        self.net.fail_gateway(idx)
+    }
+
+    /// Brings gateway `idx` back into service and recomputes routes.
+    /// Returns false if the topology has no such gateway or it is up.
+    pub fn restore_gateway(&mut self, idx: usize) -> bool {
+        self.net.restore_gateway(idx)
+    }
+
     /// Spawns a process on `host` with the default address-space size.
     pub fn spawn(&mut self, host: HostId, name: &str, program: Box<dyn Program>) -> Pid {
         self.spawn_with_space(
@@ -279,6 +353,7 @@ impl Cluster {
     ) -> Pid {
         let now = self.now();
         let h = &mut self.hosts[host.0];
+        assert!(h.up, "cannot spawn {name:?} on crashed host {host:?}");
         let uid = h.alloc_uid();
         let pid = Pid::new(h.logical, uid);
         let pcb = Pcb::new(pid, program, space, name.to_string());
@@ -323,6 +398,26 @@ impl Cluster {
     }
 
     fn dispatch(&mut self, t: SimTime, ev: Event) {
+        // A crashed host is deaf and inert: frames die at its interface
+        // and stale timers/resumes are no-ops (their state was torn down
+        // with the kernel). Housekeeping is the one timer still allowed
+        // through — it finds empty tables and disarms itself, so the
+        // armed flag cannot wedge across a crash/restart cycle.
+        let target = match &ev {
+            Event::Resume { host, .. }
+            | Event::Frame { host, .. }
+            | Event::ChunkReady { host, .. } => Some(*host),
+            Event::Timer { host, kind } if !matches!(kind, TimerKind::Housekeeping) => Some(*host),
+            Event::Timer { .. } => None,
+        };
+        if let Some(h) = target {
+            if !self.hosts[h.0].up {
+                if matches!(ev, Event::Frame { .. }) {
+                    self.hosts[h.0].stats.frames_dropped_down += 1;
+                }
+                return;
+            }
+        }
         match ev {
             Event::Resume { host, pid, outcome } => self.handle_resume(t, host, pid, outcome),
             Event::Frame { host, frame } => self.ctx(host).handle_frame(t, frame),

@@ -54,6 +54,11 @@ pub struct ProtocolConfig {
     /// Retransmission budget `N`: a Send fails after `N` retransmissions
     /// with neither reply nor reply-pending.
     pub max_retries: u32,
+    /// Reduced retransmission budget for a `Send` to a host this kernel
+    /// already holds suspect (a previous exchange exhausted the full
+    /// budget). The probe keeps failover latency bounded while still
+    /// giving a restarted host a chance to answer and clear suspicion.
+    pub suspect_retries: u32,
     /// Largest data payload per packet for bulk transfer and appended
     /// segments ("maximally-sized packets").
     pub max_data_per_packet: usize,
@@ -100,6 +105,7 @@ impl Default for ProtocolConfig {
             // way ⇒ ~1/3 per-attempt failure): 13 attempts pushes the
             // per-exchange failure odds below 1e-6.
             max_retries: 12,
+            suspect_retries: 1,
             max_data_per_packet: 512,
             max_appended_segment: 512,
             alien_pool: 16,

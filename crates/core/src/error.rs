@@ -8,9 +8,14 @@ pub enum KernelError {
     /// The addressed process does not exist (locally verified, or a
     /// negative acknowledgement arrived from the remote kernel).
     NonexistentProcess,
-    /// A remote operation was retransmitted `N` times without any reply,
-    /// reply-pending, or progress; the remote host is presumed down.
+    /// A bulk transfer was retransmitted `N` times without any progress.
     Timeout,
+    /// The addressed host is presumed down: a `Send` exhausted its
+    /// retransmission budget with neither reply nor reply-pending (the
+    /// paper's "host unreachable after N retransmissions" condition), or
+    /// the local kernel already held the host suspect and its probe went
+    /// unanswered.
+    HostDown,
     /// A data-transfer or segment operation was attempted outside the
     /// segment access the message conventions granted.
     NoSegmentAccess,
@@ -32,6 +37,7 @@ impl fmt::Display for KernelError {
         let s = match self {
             KernelError::NonexistentProcess => "nonexistent process",
             KernelError::Timeout => "operation timed out after N retransmissions",
+            KernelError::HostDown => "remote host presumed down (retransmission budget exhausted)",
             KernelError::NoSegmentAccess => "segment access not granted",
             KernelError::BadAddress => "address out of range",
             KernelError::NotAwaitingReply => "process not awaiting reply",
@@ -51,6 +57,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(KernelError::Timeout.to_string().contains("retransmissions"));
+        assert!(KernelError::HostDown.to_string().contains("down"));
         assert!(KernelError::NoSegmentAccess.to_string().contains("segment"));
     }
 }

@@ -1,6 +1,6 @@
 //! Per-host kernel state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use v_net::{EtherType, Nic};
 use v_sim::SimTime;
@@ -130,6 +130,14 @@ pub struct Host {
     pub raw: HashMap<u16, Box<dyn RawHandler>>,
     /// Protocol counters.
     pub stats: KernelStats,
+    /// False while this host is crashed: the kernel holds no state and
+    /// the interface drops every frame.
+    pub up: bool,
+    /// Peers condemned as down (a Send exhausted its full retransmission
+    /// budget against them). Sends to a suspect use the reduced
+    /// `suspect_retries` probe budget; any frame heard from the peer
+    /// clears the suspicion.
+    pub suspects: HashSet<LogicalHost>,
 }
 
 impl Host {

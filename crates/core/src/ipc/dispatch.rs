@@ -93,9 +93,13 @@ impl Ctx<'_> {
             }
         };
         // Learn logical-host → station correspondences from traffic
-        // (10 Mb addressing mode).
+        // (10 Mb addressing mode), and treat any frame from a condemned
+        // peer as evidence of life.
         if let Some(src) = Pid::from_raw(pkt.src_pid) {
             self.host.hostmap.learn(src.host(), frame.src);
+            if self.host.suspects.remove(&src.host()) {
+                self.host.stats.peer_reprieves += 1;
+            }
         }
         self.dispatch_packet(end, pkt);
     }

@@ -90,7 +90,15 @@ impl Ctx<'_> {
             };
             let bytes = encode(&pkt);
             {
-                let max_retries = self.proto.max_retries;
+                // A condemned peer gets a short probe, not the full
+                // ladder: bounded failover latency, but a restarted host
+                // still gets a packet to answer (which clears suspicion).
+                let max_retries = if self.host.suspects.contains(&to.host()) {
+                    self.host.stats.sends_to_suspect += 1;
+                    self.proto.suspect_retries
+                } else {
+                    self.proto.max_retries
+                };
                 let pcb = self.host.proc_mut(pid).expect("sender exists");
                 pcb.state = ProcState::AwaitingReplyRemote {
                     to,

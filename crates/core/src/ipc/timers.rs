@@ -30,10 +30,18 @@ impl Ctx<'_> {
             _ => return, // exchange completed; stale timer
         };
         if retries == 0 {
+            // The budget ran out with neither reply nor reply-pending:
+            // the paper's condition for presuming the host down. Condemn
+            // the peer so later Sends probe with the reduced budget
+            // instead of paying the full timeout ladder again.
             self.host.stats.send_timeouts += 1;
+            self.host.stats.host_down_failures += 1;
+            if self.host.suspects.insert(to.host()) {
+                self.host.stats.peer_suspicions += 1;
+            }
             let pcb = self.host.proc_mut(pid).expect("checked");
             pcb.state = ProcState::Ready;
-            self.resume_at(t, pid, Outcome::Send(Err(KernelError::Timeout)));
+            self.resume_at(t, pid, Outcome::Send(Err(KernelError::HostDown)));
             return;
         }
         if let Some(ProcState::AwaitingReplyRemote { retries_left, .. }) =

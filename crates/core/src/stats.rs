@@ -61,4 +61,22 @@ pub struct KernelStats {
     pub processes_spawned: u64,
     /// Processes exited on this host.
     pub processes_exited: u64,
+    /// Times this host crashed ([`crate::Cluster::crash_host`]).
+    pub crashes: u64,
+    /// Times this host restarted ([`crate::Cluster::restart_host`]).
+    pub restarts: u64,
+    /// Sends that failed with [`crate::KernelError::HostDown`] after the
+    /// retransmission budget ran out.
+    pub host_down_failures: u64,
+    /// Peers newly condemned as down (first budget exhaustion against
+    /// that logical host).
+    pub peer_suspicions: u64,
+    /// Condemned peers cleared by evidence of life (any frame from them).
+    pub peer_reprieves: u64,
+    /// Sends issued against an already-suspect peer, probing with the
+    /// reduced [`crate::ProtocolConfig::suspect_retries`] budget.
+    pub sends_to_suspect: u64,
+    /// Frames addressed to this host while it was down (counted by the
+    /// simulation, not the dead kernel: the bits died at the interface).
+    pub frames_dropped_down: u64,
 }

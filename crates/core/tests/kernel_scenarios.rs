@@ -403,7 +403,7 @@ fn zero_byte_move_completes() {
 }
 
 #[test]
-fn send_failure_after_exhausted_retries_reports_timeout_error() {
+fn send_failure_after_exhausted_retries_reports_host_down() {
     let mut cfg = ClusterConfig::three_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
     cfg.protocol.retransmit_timeout = SimDuration::from_millis(5);
     cfg.protocol.max_retries = 2;
@@ -436,7 +436,7 @@ fn send_failure_after_exhausted_retries_reports_timeout_error() {
     let st = cl.kernel_stats(HostId(0));
     assert_eq!(st.send_timeouts, 1);
     assert_eq!(st.retransmissions, 2);
-    let _ = KernelError::Timeout; // documented failure mode
+    let _ = KernelError::HostDown; // documented failure mode
 }
 
 #[test]
@@ -503,11 +503,11 @@ fn lost_reply_is_recovered_from_cache_even_after_replier_exits() {
         );
         cl.run();
         let log = log.borrow();
-        // A Timeout is legitimate at 30% loss (the retry budget can
+        // A HostDown is legitimate at 30% loss (the retry budget can
         // genuinely run out); the bug's signature was a spurious
         // NonexistentProcess from nacking the cached-reply alien.
         assert!(
-            log[0] == "ok:cafe" || log[0] == "err:Timeout",
+            log[0] == "ok:cafe" || log[0] == "err:HostDown",
             "seed {seed}: {log:?}"
         );
         if log[0] == "ok:cafe" && cl.kernel_stats(HostId(1)).replies_retransmitted > 0 {

@@ -32,12 +32,17 @@
 //! * [`loader`] — program loading exactly as §6.3 describes (one block
 //!   read for the header, then one large read via `MoveTo` into the new
 //!   program space) and the §7 exec server that runs programs *on* the
-//!   file server.
+//!   file server;
+//! * [`replica`] — a replicated *read-only* root: N identical replicas
+//!   spawned from clones of one [`BlockStore`] (so file ids agree
+//!   everywhere), and a [`ReplicatedFsClient`] that fails over to the
+//!   next replica when the kernel reports a replica's host down.
 
 pub mod client;
 pub mod disk;
 pub mod loader;
 pub mod proto;
+pub mod replica;
 pub mod server;
 pub mod shard;
 pub mod store;
@@ -45,6 +50,7 @@ pub mod team;
 
 pub use disk::{DiskModel, DiskStats};
 pub use proto::{IoReply, IoRequest, IoStatus};
+pub use replica::{spawn_replica, spawn_replica_group, ReplicaReport, ReplicatedFsClient};
 pub use server::{FileServer, FileServerConfig, FileServerStats};
 pub use shard::{spawn_shard_server, ShardMap, ShardedFsClient};
 pub use store::BlockStore;

@@ -74,6 +74,8 @@ pub enum IoStatus {
     BadBlock = 3,
     /// Transfer or protocol failure.
     Error = 4,
+    /// The server is a read-only replica; mutating ops are refused.
+    ReadOnly = 5,
 }
 
 impl IoStatus {
@@ -84,6 +86,7 @@ impl IoStatus {
             1 => IoStatus::NotFound,
             2 => IoStatus::Exists,
             3 => IoStatus::BadBlock,
+            5 => IoStatus::ReadOnly,
             _ => IoStatus::Error,
         }
     }

@@ -59,6 +59,11 @@ pub struct FileServerConfig {
     /// worker, so one request's disk wait overlaps the next request's
     /// receive and file-system processing (see [`crate::team`]).
     pub workers: usize,
+    /// Refuse mutating operations (`Create`, `Write`) with
+    /// [`IoStatus::ReadOnly`]. Read-only replicas of the root file
+    /// service (see [`crate::replica`]) set this so the replicas can
+    /// never diverge: every copy serves the same immutable image.
+    pub read_only: bool,
 }
 
 impl Default for FileServerConfig {
@@ -70,6 +75,7 @@ impl Default for FileServerConfig {
             read_ahead: true,
             register: Some(naming::logical::FILE_SERVER),
             workers: 1,
+            read_only: false,
         }
     }
 }
@@ -227,6 +233,12 @@ impl FileServer {
         let cur = self.current.as_ref().expect("request in progress");
         let req = cur.req;
         let seg_len = cur.seg_len;
+        if self.cfg.read_only && matches!(req.op, IoOp::Create | IoOp::Write) {
+            // Refused before any side effect: the store, the disk queue
+            // and the read-ahead slot are untouched.
+            self.reply_status(api, IoStatus::ReadOnly, 0, req.file);
+            return;
+        }
         match req.op {
             IoOp::Open => {
                 self.shared.stats.borrow_mut().meta += 1;

@@ -28,7 +28,7 @@ struct File {
 /// An in-memory block store with a flat name directory — the file
 /// server's filesystem state (the paper's servers expose UNIX files; the
 /// protocol only ever addresses (file id, block index) pairs).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BlockStore {
     files: Vec<File>,
     by_name: HashMap<String, FileId>,

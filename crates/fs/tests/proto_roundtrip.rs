@@ -68,7 +68,7 @@ proptest! {
     /// Reply encode/decode is the identity for every status code.
     #[test]
     fn io_reply_round_trips(
-        status in 0u8..=4,
+        status in 0u8..=5,
         file in any::<u16>(),
         value in any::<u32>(),
         tag in any::<u16>(),
@@ -87,7 +87,7 @@ proptest! {
 /// decode, pinned so a new status code cannot silently alias.
 #[test]
 fn unknown_status_bytes_decode_as_error() {
-    for b in 5u8..=255 {
+    for b in 6u8..=255 {
         assert_eq!(IoStatus::from_u8(b), IoStatus::Error);
     }
 }

@@ -160,6 +160,9 @@ const UNPLACED: u16 = u16::MAX;
 struct Gateway {
     /// Segments this gateway bridges (sorted, deduplicated).
     attached: Vec<usize>,
+    /// False while the gateway is crashed: it hears nothing, forwards
+    /// nothing, and the routing tables are built without it.
+    alive: bool,
     /// Instant the forwarding engine is next idle.
     free: SimTime,
     /// Service-start times of accepted frames still queued or in
@@ -242,6 +245,7 @@ impl Internetwork {
             }
             gateways.push(Gateway {
                 attached,
+                alive: true,
                 free: SimTime::ZERO,
                 backlog: Vec::new(),
                 stats: GatewayStats::default(),
@@ -281,9 +285,30 @@ impl Internetwork {
         }
     }
 
-    /// Gateway-hop distance between two segments.
+    /// Gateway-hop distance between two segments, over live gateways
+    /// only. [`Internetwork::UNREACHABLE`] when a partition separates
+    /// them.
     pub fn hops(&self, from: usize, to: usize) -> usize {
         self.dist[from][to] as usize
+    }
+
+    /// The `hops` value reporting "no live path".
+    pub const UNREACHABLE: usize = u16::MAX as usize;
+
+    /// True while gateway `idx` is in service.
+    pub fn gateway_alive(&self, idx: usize) -> bool {
+        self.gateways.get(idx).is_some_and(|g| g.alive)
+    }
+
+    /// Rebuilds the routing tables over the live gateways. The
+    /// connectivity the constructor insists on may no longer hold: a
+    /// partitioned pair of segments simply gets no next hop, so unicasts
+    /// between them die silently and the kernels' retransmission budgets
+    /// are what surface the outage.
+    fn recompute_routes(&mut self) {
+        let (dist, next_hop) = route_tables(self.segments.len(), &self.gateways);
+        self.dist = dist;
+        self.next_hop = next_hop;
     }
 
     /// The gateway index a station address in the reserved range maps
@@ -402,8 +427,9 @@ impl Internetwork {
                 for d in tx.deliveries {
                     match self.gateway_index(d.dst) {
                         // The emitting gateway's own copy on the egress
-                        // segment must not re-enter the flood.
-                        Some(g2) if g2 == g => {}
+                        // segment must not re-enter the flood; a dead
+                        // gateway's copy dies at its silent interface.
+                        Some(g2) if g2 == g || !self.gateways[g2].alive => {}
                         Some(g2) => {
                             if d.corrupted {
                                 self.gateways[g2].stats.corrupt_drops += 1;
@@ -427,7 +453,7 @@ type RouteTables = (Vec<Vec<u16>>, Vec<Vec<Option<(u16, u16)>>>);
 fn route_tables(n: usize, gateways: &[Gateway]) -> RouteTables {
     // Adjacency: segments sharing a gateway are one hop apart.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for gw in gateways {
+    for gw in gateways.iter().filter(|g| g.alive) {
         for &a in &gw.attached {
             for &b in &gw.attached {
                 if a != b && !adj[a].contains(&b) {
@@ -466,7 +492,7 @@ fn route_tables(n: usize, gateways: &[Gateway]) -> RouteTables {
                 continue;
             }
             'gw: for (g, gw) in gateways.iter().enumerate() {
-                if !gw.attached.contains(&s) {
+                if !gw.alive || !gw.attached.contains(&s) {
                     continue;
                 }
                 for &e in &gw.attached {
@@ -512,6 +538,9 @@ impl Transport for Internetwork {
             let mut ingress = VecDeque::new();
             for d in tx.deliveries {
                 match self.gateway_index(d.dst) {
+                    // Dead gateways hear nothing: with them gone the
+                    // flood degrades to covering only reachable segments.
+                    Some(g) if !self.gateways[g].alive => {}
                     Some(g) => {
                         if d.corrupted {
                             self.gateways[g].stats.corrupt_drops += 1;
@@ -592,6 +621,29 @@ impl Transport for Internetwork {
 
     fn per_gateway_stats(&self) -> Vec<GatewayStats> {
         self.gateways.iter().map(|g| g.stats).collect()
+    }
+
+    fn fail_gateway(&mut self, idx: usize) -> bool {
+        match self.gateways.get_mut(idx) {
+            Some(gw) if gw.alive => {
+                gw.alive = false;
+                gw.backlog.clear(); // queued frames die with the gateway
+                self.recompute_routes();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn restore_gateway(&mut self, idx: usize) -> bool {
+        match self.gateways.get_mut(idx) {
+            Some(gw) if !gw.alive => {
+                gw.alive = true;
+                self.recompute_routes();
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -781,6 +833,66 @@ mod tests {
         assert_eq!(n.hops(0, 2), 2);
         assert_eq!(n.hops(0, 3), 2);
         assert_eq!(n.hops(0, 4), 1);
+    }
+
+    #[test]
+    fn failed_gateway_partitions_a_line() {
+        let mut n = line3();
+        assert!(n.fail_gateway(0));
+        assert!(!n.fail_gateway(0), "already down");
+        assert!(!n.gateway_alive(0));
+        assert_eq!(n.hops(0, 2), Internetwork::UNREACHABLE);
+        // Unicast into the partition dies silently.
+        n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(1), 64));
+        assert!(polled(&mut n).is_empty());
+        // The unaffected hop still forwards.
+        n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(2), 64));
+        assert_eq!(polled(&mut n).len(), 1);
+        // Restore heals the route.
+        assert!(n.restore_gateway(0));
+        assert!(!n.restore_gateway(0), "already up");
+        assert_eq!(n.hops(0, 2), 2);
+        n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(1), 64));
+        assert_eq!(polled(&mut n).len(), 1);
+    }
+
+    #[test]
+    fn ring_reroutes_the_long_way_around_a_dead_gateway() {
+        let mut n = Internetwork::new(MeshConfig::ring(4), 11);
+        n.attach(MacAddr(1), 0);
+        n.attach(MacAddr(2), 1);
+        assert_eq!(n.hops(0, 1), 1);
+        // Gateway 0 bridges segments 0 and 1; without it the route runs
+        // the long way: 0 → 3 → 2 → 1.
+        assert!(n.fail_gateway(0));
+        assert_eq!(n.hops(0, 1), 3);
+        n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
+        let fwd = polled(&mut n);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].dst, MacAddr(2));
+        assert!(!n.gateway_alive(0));
+        assert_eq!(n.per_gateway_stats()[0].forwarded, 0);
+    }
+
+    #[test]
+    fn broadcast_flood_degrades_to_the_reachable_side() {
+        let mut n = Internetwork::new(MeshConfig::line(3), 5);
+        n.attach(MacAddr(1), 0);
+        n.attach(MacAddr(2), 1);
+        n.attach(MacAddr(3), 2);
+        assert!(n.fail_gateway(1));
+        // From segment 0 the flood reaches segment 1 but not 2.
+        n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
+        let dsts: Vec<u8> = polled(&mut n).iter().map(|d| d.dst.0).collect();
+        assert_eq!(dsts, vec![2], "only the near side hears the flood");
+    }
+
+    #[test]
+    fn fail_gateway_rejects_unknown_index() {
+        let mut n = star();
+        assert!(!n.fail_gateway(7));
+        assert!(!n.restore_gateway(7));
+        assert!(!n.gateway_alive(7));
     }
 
     #[test]

@@ -95,6 +95,21 @@ pub trait Transport {
     fn per_gateway_stats(&self) -> Vec<GatewayStats> {
         Vec::new()
     }
+
+    /// Takes forwarding element `idx` out of service (its queue is lost;
+    /// routes recompute without it, possibly partitioning the topology).
+    /// Returns false on transports without one, for an unknown index, or
+    /// if it is already down.
+    fn fail_gateway(&mut self, _idx: usize) -> bool {
+        false
+    }
+
+    /// Returns forwarding element `idx` to service and recomputes
+    /// routes. Returns false on transports without one, for an unknown
+    /// index, or if it is already up.
+    fn restore_gateway(&mut self, _idx: usize) -> bool {
+        false
+    }
 }
 
 /// A buildable description of a network topology — the configuration

@@ -10,7 +10,9 @@
 //! * [`SplitMix64`] — a tiny, fast, seedable PRNG used for fault injection
 //!   and workload generation so every run is reproducible;
 //! * [`OnlineStats`] / [`Histogram`] — streaming statistics used by the
-//!   measurement harness.
+//!   measurement harness;
+//! * [`Timeline`] — a pre-written, replayable script of externally
+//!   injected events (the substrate of the chaos fault schedules).
 //!
 //! The engine is intentionally single-threaded: the paper's evaluation
 //! depends on precise ordering of sub-millisecond events across simulated
@@ -20,8 +22,10 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
+pub use timeline::Timeline;

@@ -1,0 +1,122 @@
+//! A time-ordered script of external events.
+//!
+//! Where [`crate::EventQueue`] is the *engine's* agenda — events the
+//! simulation schedules for itself — a [`Timeline`] is a *script written
+//! in advance*: a fixed, replayable sequence of instants at which some
+//! outside hand intervenes. The chaos harness builds fault schedules on
+//! it (crash this host at 2 s, heal the partition at 5 s), but it is
+//! deliberately generic: any "do X at time T" scenario driver fits.
+//!
+//! Determinism contract: entries pop in time order, and entries at the
+//! same instant pop in insertion order — the same guarantee the event
+//! queue gives, so a replayed schedule is bit-for-bit reproducible.
+
+use crate::time::SimTime;
+
+/// A pre-written, time-ordered sequence of `(instant, entry)` pairs.
+#[derive(Debug, Clone)]
+pub struct Timeline<E> {
+    /// Entries kept sorted by `(time, insertion index)`.
+    entries: Vec<(SimTime, u64, E)>,
+    next_idx: u64,
+    sorted: bool,
+}
+
+impl<E> Default for Timeline<E> {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+impl<E> Timeline<E> {
+    /// An empty timeline.
+    pub fn new() -> Timeline<E> {
+        Timeline {
+            entries: Vec::new(),
+            next_idx: 0,
+            sorted: true,
+        }
+    }
+
+    /// Adds an entry at `at`. Entries may be added in any order; the
+    /// timeline sorts lazily, keeping insertion order among equal times.
+    pub fn push(&mut self, at: SimTime, entry: E) {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        if let Some((last, li, _)) = self.entries.last() {
+            if (*last, *li) > (at, idx) {
+                self.sorted = false;
+            }
+        }
+        self.entries.push((at, idx, entry));
+    }
+
+    /// Number of entries remaining.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The instant of the earliest remaining entry.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.ensure_sorted();
+        self.entries.first().map(|(t, _, _)| *t)
+    }
+
+    /// Removes and returns the earliest remaining entry.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.ensure_sorted();
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (t, _, e) = self.entries.remove(0);
+        Some((t, e))
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // Stable key: time first, then insertion index.
+            self.entries.sort_by_key(|(t, i, _)| (*t, *i));
+            self.sorted = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn pops_in_time_order_regardless_of_insertion_order() {
+        let mut tl = Timeline::new();
+        tl.push(ms(30), "c");
+        tl.push(ms(10), "a");
+        tl.push(ms(20), "b");
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.next_time(), Some(ms(10)));
+        assert_eq!(tl.pop(), Some((ms(10), "a")));
+        assert_eq!(tl.pop(), Some((ms(20), "b")));
+        assert_eq!(tl.pop(), Some((ms(30), "c")));
+        assert_eq!(tl.pop(), None);
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn equal_instants_keep_insertion_order() {
+        let mut tl = Timeline::new();
+        tl.push(ms(5), 1);
+        tl.push(ms(5), 2);
+        tl.push(ms(1), 0);
+        tl.push(ms(5), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| tl.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

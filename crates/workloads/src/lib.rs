@@ -19,8 +19,12 @@
 //! * [`measure`] — probes and per-operation accounting in the style of
 //!   the paper's methodology (N-trial loops; processor time from
 //!   busy-time deltas, the exact quantity the original "busywork
-//!   process" estimated).
+//!   process" estimated);
+//! * [`chaos`] — replayable fault schedules (host crash/restart,
+//!   gateway failure, lossy periods and partitions) that scenarios and
+//!   benches inject deterministically mid-run.
 
+pub mod chaos;
 pub mod echo;
 pub mod load;
 pub mod measure;

@@ -1,0 +1,117 @@
+//! Link check for the Markdown documentation tree.
+//!
+//! Every relative link in `README.md` and `docs/*.md` must point at a
+//! file or directory that exists in the repository, so the docs cannot
+//! silently rot as files move. External (`http(s)://`) links and pure
+//! fragments are out of scope — there is no network in CI.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts the targets of inline Markdown links `[text](target)`.
+///
+/// Good enough for our hand-written docs: it scans for `](`, takes the
+/// target up to the matching `)`, and ignores fenced code blocks so
+/// ASCII diagrams cannot produce false links.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            rest = &rest[i + 2..];
+            if let Some(end) = rest.find(')') {
+                targets.push(rest[..end].to_string());
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    targets
+}
+
+/// Checks one document's relative links against the filesystem.
+fn check_doc(repo_root: &Path, doc: &Path, broken: &mut Vec<String>) {
+    let text = std::fs::read_to_string(doc)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+    let base = doc.parent().unwrap_or(repo_root);
+    for target in link_targets(&text) {
+        if target.starts_with("http://") || target.starts_with("https://") {
+            continue;
+        }
+        // Strip a trailing fragment; a bare fragment links within the
+        // same (existing) file.
+        let path_part = target.split('#').next().unwrap_or("");
+        if path_part.is_empty() {
+            continue;
+        }
+        let resolved = base.join(path_part);
+        if !resolved.exists() {
+            broken.push(format!(
+                "{}: link `{target}` -> missing {}",
+                doc.display(),
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![repo_root.join("README.md")];
+    let docs_dir = repo_root.join("docs");
+    let entries = std::fs::read_dir(&docs_dir)
+        .unwrap_or_else(|e| panic!("docs/ must exist ({}): {e}", docs_dir.display()));
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push(path);
+        }
+    }
+    assert!(
+        docs.len() >= 4,
+        "expected README.md plus at least ARCHITECTURE/FAULT_MODEL/BENCHMARKS under docs/, found {docs:?}"
+    );
+
+    let mut broken = Vec::new();
+    for doc in &docs {
+        check_doc(&repo_root, doc, &mut broken);
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn docs_tree_is_cross_linked() {
+    // The three docs must reference each other and README must link all
+    // three — the index stays navigable from any entry point.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(repo_root.join("README.md")).expect("README.md");
+    for name in ["ARCHITECTURE.md", "FAULT_MODEL.md", "BENCHMARKS.md"] {
+        assert!(
+            readme.contains(&format!("docs/{name}")),
+            "README.md must link docs/{name}"
+        );
+        let body = std::fs::read_to_string(repo_root.join("docs").join(name)).expect("doc exists");
+        let others = ["ARCHITECTURE.md", "FAULT_MODEL.md", "BENCHMARKS.md"]
+            .into_iter()
+            .filter(|o| *o != name)
+            .filter(|o| body.contains(*o))
+            .count();
+        assert!(
+            others == 2,
+            "docs/{name} must cross-link both sibling docs, links {others} of 2"
+        );
+    }
+}

@@ -152,7 +152,7 @@ fn send_to_nonexistent_local_and_remote_process_fails() {
 }
 
 #[test]
-fn send_to_unreachable_host_times_out_after_n_retries() {
+fn send_to_unreachable_host_fails_host_down_after_n_retries() {
     // Host exists in pid space but no such station answers: use learned
     // addressing so the packet is broadcast into the void.
     let mut cfg = ClusterConfig::ten_mb().with_hosts(2, CpuSpeed::Mc68000At10MHz);
@@ -171,7 +171,7 @@ fn send_to_unreachable_host_times_out_after_n_retries() {
     );
     cl.run();
     assert!(
-        log.borrow().contains(&"err:9:Timeout".to_string()),
+        log.borrow().contains(&"err:9:HostDown".to_string()),
         "{log:?}"
     );
     let st = cl.kernel_stats(HostId(0));
