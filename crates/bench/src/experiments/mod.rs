@@ -7,6 +7,7 @@
 //! format and the CI deviation gate.
 
 mod ablations;
+mod engine;
 mod failover;
 mod fileserver;
 mod multi;
@@ -23,6 +24,7 @@ mod wan;
 pub use ablations::{
     ip_encapsulation, netserver_relay, protocol_ablations, streaming_comparison, wfs_comparison,
 };
+pub use engine::{engine_throughput, engine_with_sizes};
 pub use failover::{failover, failover_with_rounds};
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;

@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|ablate]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|ablate|engine]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -15,10 +15,11 @@
 //! from the paper exceeds `PCT` percent — the CI regression gate.
 //!
 //! `--smoke` runs Table 4-1, the WAN table, the shard-placement table,
-//! the replica-failover table and the server-team pipelining table with
-//! tiny round counts: a cheap end-to-end exercise of the
-//! experiment pipeline for CI, not a measurement. It cannot be combined
-//! with experiment ids, but accepts `--json` / `--check`.
+//! the replica-failover table, the server-team pipelining table and a
+//! small boot-storm engine-throughput run with tiny round counts: a
+//! cheap end-to-end exercise of the experiment pipeline for CI, not a
+//! measurement. It cannot be combined with experiment ids, but accepts
+//! `--json` / `--check`.
 
 use std::path::PathBuf;
 
@@ -46,6 +47,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "failover" => exp::failover(),
         "pipeline" => exp::pipeline_contention(),
         "ablate" => exp::protocol_ablations(),
+        "engine" => exp::engine_throughput(),
         other => {
             eprintln!("unknown experiment: {other}");
             return None;
@@ -53,7 +55,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "4-1",
     "5-1",
     "5-2",
@@ -72,6 +74,7 @@ const ALL: [&str; 18] = [
     "failover",
     "pipeline",
     "ablate",
+    "engine",
 ];
 
 /// Parsed command line.
@@ -174,12 +177,14 @@ fn main() {
         ok &= process(&f, "failover", &opts);
         let p = exp::pipeline_with_rounds(8);
         ok &= process(&p, "pipeline", &opts);
+        let e = exp::engine_with_sizes(&[48]);
+        ok &= process(&e, "engine", &opts);
         if !ok {
             std::process::exit(2);
         }
         println!(
-            "smoke OK: Table 4-1, WAN, shard, failover and server-team pipelines ran end to end \
-             (tiny rounds, not a measurement)"
+            "smoke OK: Table 4-1, WAN, shard, failover, server-team pipelines and the \
+             boot-storm engine gate ran end to end (tiny rounds, not a measurement)"
         );
         return;
     }

@@ -14,8 +14,6 @@
 //! * the pool is **bounded**: if no descriptor is free the new message is
 //!   discarded and a reply-pending packet tells the sender to retry.
 
-use std::collections::HashMap;
-
 use v_sim::SimTime;
 
 use crate::message::Message;
@@ -85,9 +83,14 @@ pub enum SendVerdict {
 }
 
 /// The bounded alien pool of one kernel.
+///
+/// The pool is a flat vector scanned linearly: its capacity is a small
+/// constant (the paper bounds the descriptor pool), so a scan beats a
+/// hash, and insertion-ordered iteration makes exit-time nack emission
+/// deterministic.
 #[derive(Debug)]
 pub struct AlienTable {
-    map: HashMap<Pid, Alien>,
+    pool: Vec<Alien>,
     capacity: usize,
 }
 
@@ -95,29 +98,29 @@ impl AlienTable {
     /// Creates a pool with room for `capacity` aliens.
     pub fn new(capacity: usize) -> AlienTable {
         AlienTable {
-            map: HashMap::new(),
+            pool: Vec::new(),
             capacity,
         }
     }
 
     /// Number of live aliens.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.pool.len()
     }
 
     /// True if no aliens are live.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.pool.is_empty()
     }
 
     /// Looks up the alien for a remote sender.
     pub fn get(&self, src: Pid) -> Option<&Alien> {
-        self.map.get(&src)
+        self.pool.iter().find(|a| a.src == src)
     }
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, src: Pid) -> Option<&mut Alien> {
-        self.map.get_mut(&src)
+        self.pool.iter_mut().find(|a| a.src == src)
     }
 
     /// Judges an arriving Send packet body and updates the table.
@@ -127,7 +130,9 @@ impl AlienTable {
     /// numerically newer sequence implies the previous exchange completed,
     /// so its alien may be reused.
     pub fn admit(&mut self, src: Pid, seq: u32, dst: Pid, body: SendBody) -> SendVerdict {
-        if let Some(alien) = self.map.get(&src) {
+        let slot = self.pool.iter().position(|a| a.src == src);
+        if let Some(i) = slot {
+            let alien = &self.pool[i];
             if alien.seq == seq {
                 return match &alien.state {
                     AlienState::Replied { packet, .. } => {
@@ -141,30 +146,32 @@ impl AlienTable {
                 return SendVerdict::Drop;
             }
             // Newer exchange from the same source: reuse the descriptor.
-        } else if self.map.len() >= self.capacity {
+        } else if self.pool.len() >= self.capacity {
             // Pool exhausted: discard the message, tell the sender to
             // retry (it will find a descriptor once one frees up).
             return SendVerdict::ReplyPending;
         }
-        self.map.insert(
+        let alien = Alien {
             src,
-            Alien {
-                src,
-                seq,
-                dst,
-                msg: Message::from_bytes(body.msg),
-                appended: body.appended,
-                appended_from: body.appended_from,
-                state: AlienState::Queued,
-                forward_note: None,
-            },
-        );
+            seq,
+            dst,
+            msg: Message::from_bytes(body.msg),
+            appended: body.appended,
+            appended_from: body.appended_from,
+            state: AlienState::Queued,
+            forward_note: None,
+        };
+        match slot {
+            Some(i) => self.pool[i] = alien,
+            None => self.pool.push(alien),
+        }
         SendVerdict::Deliver
     }
 
     /// Removes the alien for `src`.
     pub fn remove(&mut self, src: Pid) -> Option<Alien> {
-        self.map.remove(&src)
+        let i = self.pool.iter().position(|a| a.src == src)?;
+        Some(self.pool.remove(i))
     }
 
     /// Drops replied and forwarded aliens older than `keep` at time
@@ -172,23 +179,24 @@ impl AlienTable {
     /// of time"; a forwarded exchange's rebind note gets the same
     /// retention).
     pub fn sweep(&mut self, now: SimTime, keep: v_sim::SimDuration) -> usize {
-        let before = self.map.len();
-        self.map.retain(|_, a| match &a.state {
+        let before = self.pool.len();
+        self.pool.retain(|a| match &a.state {
             AlienState::Replied { at, .. } | AlienState::Forwarded { at } => now.since(*at) < keep,
             _ => true,
         });
-        before - self.map.len()
+        before - self.pool.len()
     }
 
-    /// Iterates over live aliens.
+    /// Iterates over live aliens in admission order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = &Alien> {
-        self.map.values()
+        self.pool.iter()
     }
 
-    /// Aliens addressed to a given local process (used at process exit).
+    /// Aliens addressed to a given local process (used at process exit),
+    /// in admission order.
     pub fn addressed_to(&self, dst: Pid) -> Vec<Pid> {
-        self.map
-            .values()
+        self.pool
+            .iter()
             .filter(|a| a.dst == dst)
             .map(|a| a.src)
             .collect()
@@ -200,8 +208,8 @@ impl AlienTable {
     /// even after the replier exits. `Forwarded` aliens are likewise
     /// excluded — their exchange completes at the forwardee's kernel.
     pub fn addressed_to_unreplied(&self, dst: Pid) -> Vec<Pid> {
-        self.map
-            .values()
+        self.pool
+            .iter()
             .filter(|a| {
                 a.dst == dst
                     && !matches!(

@@ -5,7 +5,7 @@
 //! top-level object experiments construct; see the crate examples and the
 //! `v-bench` experiments for usage.
 
-use v_net::{EtherType, Ethernet, MacAddr, Nic, Transport};
+use v_net::{Delivery, EtherType, Ethernet, Frame, MacAddr, Nic, Transport};
 use v_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::aliens::AlienTable;
@@ -64,6 +64,14 @@ pub struct Cluster {
     pub(crate) net: Box<dyn Transport>,
     pub(crate) hosts: Vec<Host>,
     pub(crate) housekeeping_armed: Vec<bool>,
+    /// Logical events dispatched: one per resume/frame/timer/chunk. A
+    /// batched frame event counts once per frame it carries, so the
+    /// number is comparable across delivery-batching changes.
+    events_dispatched: u64,
+    /// Reusable buffer for transport deliveries: every transmit drains
+    /// into it and schedules from it, so the hot path never allocates a
+    /// per-transmit vector.
+    delivery_scratch: Vec<Delivery>,
 }
 
 impl Cluster {
@@ -91,7 +99,7 @@ impl Cluster {
 
         let mut hosts = Vec::with_capacity(cfg.hosts.len());
         for (i, hc) in cfg.hosts.iter().enumerate() {
-            let mac = MacAddr((i + 1) as u8);
+            let mac = HostId(i).station_mac();
             net.attach(mac, hc.segment);
             let logical = hc
                 .logical_host
@@ -124,6 +132,8 @@ impl Cluster {
             net,
             hosts,
             housekeeping_armed: vec![false; n],
+            events_dispatched: 0,
+            delivery_scratch: Vec::new(),
         }
     }
 
@@ -397,33 +407,68 @@ impl Cluster {
         self.run_until(deadline);
     }
 
+    /// Engine counters of the underlying event queue (scheduled, popped,
+    /// pending) — the observable events-processed surface.
+    pub fn sim_stats(&self) -> v_sim::SimStats {
+        self.queue.stats()
+    }
+
+    /// Logical events dispatched so far (a batched frame event counts
+    /// once per frame it carries).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
     fn dispatch(&mut self, t: SimTime, ev: Event) {
-        // A crashed host is deaf and inert: frames die at its interface
-        // and stale timers/resumes are no-ops (their state was torn down
-        // with the kernel). Housekeeping is the one timer still allowed
-        // through — it finds empty tables and disarms itself, so the
-        // armed flag cannot wedge across a crash/restart cycle.
-        let target = match &ev {
-            Event::Resume { host, .. }
-            | Event::Frame { host, .. }
-            | Event::ChunkReady { host, .. } => Some(*host),
-            Event::Timer { host, kind } if !matches!(kind, TimerKind::Housekeeping) => Some(*host),
-            Event::Timer { .. } => None,
-        };
-        if let Some(h) = target {
-            if !self.hosts[h.0].up {
-                if matches!(ev, Event::Frame { .. }) {
-                    self.hosts[h.0].stats.frames_dropped_down += 1;
+        match ev {
+            Event::Frame { host, frame } => self.dispatch_frame(t, host, frame),
+            Event::FrameBatch { items } => {
+                for (host, frame) in items {
+                    self.dispatch_frame(t, host, frame);
                 }
-                return;
+            }
+            ev => {
+                self.events_dispatched += 1;
+                // A crashed host is deaf and inert: stale timers/resumes
+                // are no-ops (their state was torn down with the
+                // kernel). Housekeeping is the one timer still allowed
+                // through — it finds empty tables and disarms itself, so
+                // the armed flag cannot wedge across a crash/restart
+                // cycle.
+                let target = match &ev {
+                    Event::Resume { host, .. } | Event::ChunkReady { host, .. } => Some(*host),
+                    Event::Timer { host, kind } if !matches!(kind, TimerKind::Housekeeping) => {
+                        Some(*host)
+                    }
+                    _ => None,
+                };
+                if let Some(h) = target {
+                    if !self.hosts[h.0].up {
+                        return;
+                    }
+                }
+                match ev {
+                    Event::Resume { host, pid, outcome } => {
+                        self.handle_resume(t, host, pid, outcome)
+                    }
+                    Event::Timer { host, kind } => self.handle_timer(t, host, kind),
+                    Event::ChunkReady { host, key } => self.ctx(host).handle_chunk_ready(t, key),
+                    Event::Frame { .. } | Event::FrameBatch { .. } => unreachable!("handled above"),
+                }
             }
         }
-        match ev {
-            Event::Resume { host, pid, outcome } => self.handle_resume(t, host, pid, outcome),
-            Event::Frame { host, frame } => self.ctx(host).handle_frame(t, frame),
-            Event::Timer { host, kind } => self.handle_timer(t, host, kind),
-            Event::ChunkReady { host, key } => self.ctx(host).handle_chunk_ready(t, key),
+    }
+
+    /// Dispatches one frame arrival: counts it as a logical event,
+    /// applies the crashed-host check, and hands it to the receiving
+    /// kernel.
+    fn dispatch_frame(&mut self, t: SimTime, host: HostId, frame: Frame) {
+        self.events_dispatched += 1;
+        if !self.hosts[host.0].up {
+            self.hosts[host.0].stats.frames_dropped_down += 1;
+            return;
         }
+        self.ctx(host).handle_frame(t, frame);
     }
 
     /// Builds the split-borrow context for one host.
@@ -435,6 +480,7 @@ impl Cluster {
             proto: &self.cfg.protocol,
             host_id: host,
             housekeeping_armed: &mut self.housekeeping_armed[host.0],
+            scratch: &mut self.delivery_scratch,
         }
     }
 

@@ -40,6 +40,9 @@ pub(crate) struct Ctx<'a> {
     pub proto: &'a ProtocolConfig,
     pub host_id: HostId,
     pub housekeeping_armed: &'a mut bool,
+    /// Cluster-owned delivery buffer every transmit drains into and
+    /// schedules from (always left empty between uses).
+    pub scratch: &'a mut Vec<Delivery>,
 }
 
 impl Ctx<'_> {
@@ -149,7 +152,9 @@ impl Ctx<'_> {
 
     /// The one transmit path every frame takes: charges the copy-in and
     /// `extra_cost`, hands the frame to the transport, and schedules its
-    /// deliveries (direct and gateway-forwarded alike).
+    /// deliveries (direct and gateway-forwarded alike) out of the
+    /// cluster's reused scratch buffer — no per-transmit allocation and
+    /// no per-delivery frame clone beyond the transport's own fan-out.
     fn emit_frame(
         &mut self,
         t: SimTime,
@@ -165,36 +170,46 @@ impl Ctx<'_> {
         let cost = self.host.costs.frame_tx_cost(wire_len) + extra_cost;
         let span = self.host.cpu.charge(ready, cost);
         let frame = Frame::new(dst, self.host.nic.mac(), ethertype, payload);
-        let tx = self.net.transmit(span.end, frame);
-        self.host.nic.note_tx(tx.tx_end, wire_len);
-        self.schedule_deliveries(&tx.deliveries);
-        self.drain_forwarded();
+        self.scratch.clear();
+        let win = self.net.transmit(span.end, frame, self.scratch);
+        self.host.nic.note_tx(win.tx_end, wire_len);
+        self.schedule_scratch();
+        // Forwarded deliveries a gateway produced ride the same buffer
+        // (empty again after the schedule above).
+        self.net.poll_deliveries(self.scratch);
+        self.schedule_scratch();
         Emitted {
             cpu_done: span.end,
-            tx_end: tx.tx_end,
+            tx_end: win.tx_end,
         }
     }
 
-    /// Schedules frame-arrival events for a batch of deliveries.
-    fn schedule_deliveries(&mut self, deliveries: &[Delivery]) {
-        for d in deliveries {
-            let host = HostId((d.dst.0 - 1) as usize);
-            self.queue.schedule(
-                d.at,
-                Event::Frame {
-                    host,
-                    frame: d.frame.clone(),
-                },
-            );
-        }
-    }
-
-    /// Drains deliveries a forwarding transport (gateway) produced and
-    /// schedules them; a no-op on single-hop transports.
-    fn drain_forwarded(&mut self) {
-        let forwarded = self.net.poll_deliveries();
-        if !forwarded.is_empty() {
-            self.schedule_deliveries(&forwarded);
+    /// Drains the delivery scratch into the event queue, coalescing each
+    /// run of same-instant arrivals into one [`Event::FrameBatch`] — a
+    /// broadcast's fan-out becomes a single heap entry instead of one
+    /// per receiver. Scheduling order (and therefore FIFO tie-break
+    /// order at dispatch) matches the unbatched path exactly.
+    fn schedule_scratch(&mut self) {
+        let mut drain = self.scratch.drain(..).peekable();
+        while let Some(d) = drain.next() {
+            let host = HostId::from_station_mac(d.dst);
+            if drain.peek().is_some_and(|n| n.at == d.at) {
+                let at = d.at;
+                let mut items = vec![(host, d.frame)];
+                while drain.peek().is_some_and(|n| n.at == at) {
+                    let n = drain.next().expect("peeked");
+                    items.push((HostId::from_station_mac(n.dst), n.frame));
+                }
+                self.queue.schedule(at, Event::FrameBatch { items });
+            } else {
+                self.queue.schedule(
+                    d.at,
+                    Event::Frame {
+                        host,
+                        frame: d.frame,
+                    },
+                );
+            }
         }
     }
 

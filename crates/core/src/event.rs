@@ -1,6 +1,6 @@
 //! Cluster event vocabulary.
 
-use v_net::Frame;
+use v_net::{Frame, MacAddr};
 
 use crate::pid::Pid;
 use crate::program::Outcome;
@@ -8,6 +8,32 @@ use crate::program::Outcome;
 /// Index of a host within the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub usize);
+
+impl HostId {
+    /// Largest number of hosts the station-address plan can place
+    /// (station addresses stop short of the reserved gateway range).
+    pub const MAX_HOSTS: usize = 255 * 255;
+
+    /// The station address host `i` occupies.
+    ///
+    /// Hosts `0..255` get addresses `1..=255` — identical to the paper's
+    /// 8-bit plan, so small clusters keep their historic addresses.
+    /// Beyond that the plan tiles further 255-address blocks upward
+    /// (`256 + 1..`), always skipping low-byte-zero addresses so the
+    /// [`crate::pid::LogicalHost`] station encoding stays unambiguous,
+    /// and never reaching the gateway range at `0xFF00`.
+    pub fn station_mac(self) -> MacAddr {
+        assert!(self.0 < Self::MAX_HOSTS, "host index {self} out of range");
+        MacAddr(((self.0 / 255) as u16) << 8 | (self.0 % 255 + 1) as u16)
+    }
+
+    /// The host index occupying station address `mac` — the inverse of
+    /// [`HostId::station_mac`], used to route a frame delivery to its
+    /// receiving host.
+    pub fn from_station_mac(mac: MacAddr) -> HostId {
+        HostId((mac.0 >> 8) as usize * 255 + (mac.0 & 0xFF) as usize - 1)
+    }
+}
 
 impl std::fmt::Display for HostId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -90,6 +116,15 @@ pub enum Event {
         host: HostId,
         /// The frame (payload possibly corrupted in flight).
         frame: Frame,
+    },
+    /// A batch of frame arrivals sharing one instant, possibly spanning
+    /// many hosts — a broadcast's fan-out coalesced into a single
+    /// scheduling event so a 1000-receiver broadcast costs one heap
+    /// entry instead of a thousand. Items dispatch in order, each with
+    /// its own crashed-host check.
+    FrameBatch {
+        /// `(receiving host, frame)` pairs in delivery order.
+        items: Vec<(HostId, Frame)>,
     },
     /// A kernel timer fired.
     Timer {

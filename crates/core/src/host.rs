@@ -1,7 +1,5 @@
 //! Per-host kernel state.
 
-use std::collections::{HashMap, HashSet};
-
 use v_net::{EtherType, Nic};
 use v_sim::SimTime;
 
@@ -14,6 +12,7 @@ use crate::naming::NameTable;
 use crate::pcb::Pcb;
 use crate::pid::{LogicalHost, Pid};
 use crate::raw::RawHandler;
+use crate::slab::{LinearMap, SortedSet, UidSlab};
 use crate::stats::KernelStats;
 
 /// State of an outbound `MoveTo` (this host is the mover).
@@ -109,7 +108,7 @@ pub struct Host {
     /// The network interface.
     pub nic: Nic,
     /// Local processes, keyed by the local-uid subfield.
-    pub procs: HashMap<u16, Pcb>,
+    pub procs: UidSlab<Pcb>,
     /// Next local uid to try.
     pub next_uid: u16,
     /// Alien descriptors.
@@ -119,15 +118,15 @@ pub struct Host {
     /// Logical host → station mapping.
     pub hostmap: HostMap,
     /// Outbound `MoveTo` transfers, keyed by mover local uid.
-    pub out_moves: HashMap<u16, OutMove>,
+    pub out_moves: UidSlab<OutMove>,
     /// Inbound `MoveTo` transfers, keyed by (mover raw pid, seq).
-    pub in_moves: HashMap<(u32, u32), InMove>,
+    pub in_moves: LinearMap<(u32, u32), InMove>,
     /// Outstanding `MoveFrom` requests, keyed by requester local uid.
-    pub in_fetches: HashMap<u16, InFetch>,
+    pub in_fetches: UidSlab<InFetch>,
     /// `MoveFrom` service streams, keyed by (requester raw pid, seq).
-    pub out_serves: HashMap<(u32, u32), OutServe>,
+    pub out_serves: LinearMap<(u32, u32), OutServe>,
     /// Raw protocol handlers by ethertype.
-    pub raw: HashMap<u16, Box<dyn RawHandler>>,
+    pub raw: LinearMap<u16, Box<dyn RawHandler>>,
     /// Protocol counters.
     pub stats: KernelStats,
     /// False while this host is crashed: the kernel holds no state and
@@ -137,7 +136,7 @@ pub struct Host {
     /// budget against them). Sends to a suspect use the reduced
     /// `suspect_retries` probe budget; any frame heard from the peer
     /// clears the suspicion.
-    pub suspects: HashSet<LogicalHost>,
+    pub suspects: SortedSet<LogicalHost>,
 }
 
 impl Host {

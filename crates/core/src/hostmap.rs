@@ -10,8 +10,6 @@
 //!   correspondences are **learned from received packets**
 //!   ([`AddressingMode::Learned`]).
 
-use std::collections::HashMap;
-
 use v_net::MacAddr;
 
 use crate::pid::LogicalHost;
@@ -26,10 +24,15 @@ pub enum AddressingMode {
 }
 
 /// One kernel's view of the logical-host → station mapping.
+///
+/// The learned table is a flat vector indexed by the logical host id,
+/// storing `station + 1` so zero means "no entry" — resolution on the
+/// per-packet fast path is one bounds-checked load, no hashing.
 #[derive(Debug)]
 pub struct HostMap {
     mode: AddressingMode,
-    table: HashMap<u16, MacAddr>,
+    table: Vec<u32>,
+    entries: usize,
     /// Packets sent by broadcast because the destination was unknown.
     pub broadcast_fallbacks: u64,
     /// Correspondences learned from received packets.
@@ -41,7 +44,8 @@ impl HostMap {
     pub fn new(mode: AddressingMode) -> HostMap {
         HostMap {
             mode,
-            table: HashMap::new(),
+            table: Vec::new(),
+            entries: 0,
             broadcast_fallbacks: 0,
             learned: 0,
         }
@@ -57,8 +61,11 @@ impl HostMap {
     /// [`HostMap::note_broadcast_fallback`]).
     pub fn resolve(&self, host: LogicalHost) -> Option<MacAddr> {
         match self.mode {
-            AddressingMode::Direct => Some(MacAddr(host.station_byte())),
-            AddressingMode::Learned => self.table.get(&host.0).copied(),
+            AddressingMode::Direct => Some(MacAddr(host.station())),
+            AddressingMode::Learned => match self.table.get(host.0 as usize) {
+                Some(&slot) if slot != 0 => Some(MacAddr((slot - 1) as u16)),
+                _ => None,
+            },
         }
     }
 
@@ -71,8 +78,18 @@ impl HostMap {
     /// No-op in `Direct` mode (nothing to learn).
     pub fn learn(&mut self, host: LogicalHost, mac: MacAddr) {
         if self.mode == AddressingMode::Learned {
-            let fresh = self.table.insert(host.0, mac) != Some(mac);
-            if fresh {
+            let i = host.0 as usize;
+            if self.table.len() <= i {
+                self.table.resize(i + 1, 0);
+            }
+            let old = self.table[i];
+            let new = u32::from(mac.0) + 1;
+            // A fresh *or changed* correspondence counts as learned.
+            if old != new {
+                if old == 0 {
+                    self.entries += 1;
+                }
+                self.table[i] = new;
                 self.learned += 1;
             }
         }
@@ -80,7 +97,7 @@ impl HostMap {
 
     /// Number of learned entries (always 0 in `Direct` mode).
     pub fn table_len(&self) -> usize {
-        self.table.len()
+        self.entries
     }
 }
 

@@ -92,6 +92,7 @@ pub mod pid;
 pub mod program;
 pub mod raw;
 pub mod segment;
+pub mod slab;
 pub mod stats;
 
 mod host;

@@ -6,9 +6,8 @@
 //! lookups, `Remote` answers only other kernels' broadcast queries, and
 //! `Both` answers both.
 
-use std::collections::HashMap;
-
 use crate::pid::Pid;
+use crate::slab::LinearMap;
 
 /// Visibility scope of a logical-id registration or lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,9 +31,12 @@ pub mod logical {
 }
 
 /// One kernel's logical-id table.
+///
+/// A handful of well-known ids are ever registered, so the table is a
+/// flat insertion-ordered map rather than a hash table.
 #[derive(Debug, Default)]
 pub struct NameTable {
-    map: HashMap<u32, (Pid, Scope)>,
+    map: LinearMap<u32, (Pid, Scope)>,
 }
 
 impl NameTable {

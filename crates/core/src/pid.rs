@@ -16,17 +16,39 @@ use std::fmt;
 pub struct LogicalHost(pub u16);
 
 impl LogicalHost {
-    /// The 3 Mb Ethernet convention: physical network address in the top
-    /// 8 bits (the low 8 bits are free for, e.g., multiple logical hosts
-    /// per physical machine).
-    pub fn station_byte(self) -> u8 {
-        (self.0 >> 8) as u8
+    /// The physical station address this logical host encodes.
+    ///
+    /// Inverse of [`LogicalHost::from_station`]: a zero low byte means
+    /// the 3 Mb top-8-bit convention (station = top byte), a nonzero low
+    /// byte means the identifier *is* the wide station address.
+    pub fn station(self) -> u16 {
+        if self.0 & 0xFF == 0 {
+            self.0 >> 8
+        } else {
+            self.0
+        }
     }
 
-    /// Builds a logical host from a physical station address using the
-    /// 3 Mb convention.
-    pub fn from_station(station: u8) -> LogicalHost {
-        LogicalHost((station as u16) << 8)
+    /// Builds a logical host from a physical station address.
+    ///
+    /// Stations `1..=0xFF` use the paper's 3 Mb convention — address in
+    /// the top 8 bits, low byte zero (free for, e.g., multiple logical
+    /// hosts per physical machine). Wider addresses (boot-storm clusters
+    /// beyond 255 stations) don't fit a byte, so the identifier carries
+    /// the station address verbatim; such addresses must have a nonzero
+    /// low byte, which keeps the two encodings disjoint and
+    /// [`LogicalHost::station`] unambiguous.
+    pub fn from_station(station: u16) -> LogicalHost {
+        if station <= 0xFF {
+            LogicalHost(station << 8)
+        } else {
+            debug_assert!(
+                station & 0xFF != 0,
+                "wide station address {station:#06x} has a zero low byte, \
+                 which collides with the 3 Mb top-byte encoding"
+            );
+            LogicalHost(station)
+        }
     }
 }
 
@@ -133,7 +155,18 @@ mod tests {
     fn station_byte_convention() {
         let h = LogicalHost::from_station(0x2B);
         assert_eq!(h.0, 0x2B00);
-        assert_eq!(h.station_byte(), 0x2B);
+        assert_eq!(h.station(), 0x2B);
+    }
+
+    #[test]
+    fn wide_stations_round_trip() {
+        // Addresses past the 8-bit space ride verbatim; the two
+        // encodings stay disjoint because wide addresses always carry a
+        // nonzero low byte.
+        let h = LogicalHost::from_station(0x0101);
+        assert_eq!(h.0, 0x0101);
+        assert_eq!(h.station(), 0x0101);
+        assert_ne!(h, LogicalHost::from_station(0x01));
     }
 
     #[test]

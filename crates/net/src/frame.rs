@@ -6,16 +6,20 @@ use std::fmt;
 ///
 /// The experimental 3 Mb Ethernet used 8-bit physical addresses — the paper
 /// exploits this by embedding the address in the top 8 bits of the logical
-/// host identifier. We keep the 8-bit space for both network flavours; the
-/// 10 Mb "learned table" mode in the kernel treats it as an opaque station
-/// id, which is all the protocol requires.
+/// host identifier. The simulator keeps that exploit intact for stations
+/// `1..=0xFE` (their addresses fit a byte, exactly as on the 3 Mb wire) but
+/// widens the address space to 16 bits so boot-storm clusters can exceed
+/// 255 stations; the 10 Mb "learned table" mode in the kernel treats the
+/// address as an opaque station id either way, which is all the protocol
+/// requires. Addresses `0xFF00..=0xFFFE` are reserved for internetwork
+/// gateways and `0xFFFF` is broadcast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct MacAddr(pub u8);
+pub struct MacAddr(pub u16);
 
 impl MacAddr {
     /// The broadcast address: every station except the sender receives the
     /// frame.
-    pub const BROADCAST: MacAddr = MacAddr(0xFF);
+    pub const BROADCAST: MacAddr = MacAddr(0xFFFF);
 
     /// True if this is the broadcast address.
     pub fn is_broadcast(self) -> bool {

@@ -28,17 +28,19 @@ use v_sim::{SimDuration, SimTime};
 
 use crate::fault::FaultPlan;
 use crate::frame::{Frame, MacAddr};
-use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult};
+use crate::medium::{
+    CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult, TxWindow,
+};
 use crate::transport::{GatewayStats, Transport};
 
 /// First station address of the reserved gateway range. Gateway `i`
-/// occupies address `0xE0 + i` on every segment it bridges; hosts must
+/// occupies address `0xFF00 + i` on every segment it bridges; hosts must
 /// not attach anywhere in the range.
-pub const GATEWAY_MAC_FIRST: MacAddr = MacAddr(0xE0);
+pub const GATEWAY_MAC_FIRST: MacAddr = MacAddr(0xFF00);
 
-/// Last station address of the reserved gateway range (0xFF is
+/// Last station address of the reserved gateway range (0xFFFF is
 /// broadcast).
-pub const GATEWAY_MAC_LAST: MacAddr = MacAddr(0xFE);
+pub const GATEWAY_MAC_LAST: MacAddr = MacAddr(0xFFFE);
 
 /// Largest number of gateways a mesh may place (the size of the
 /// reserved address range).
@@ -51,7 +53,7 @@ pub fn gateway_mac(idx: usize) -> MacAddr {
         idx < MAX_GATEWAYS,
         "gateway index {idx} exceeds the reserved address range ({MAX_GATEWAYS} gateways)"
     );
-    MacAddr(GATEWAY_MAC_FIRST.0 + idx as u8)
+    MacAddr(GATEWAY_MAC_FIRST.0 + idx as u16)
 }
 
 /// True if `mac` falls in the reserved gateway range.
@@ -178,10 +180,12 @@ pub struct Internetwork {
     cfg: MeshConfig,
     segments: Vec<Ethernet>,
     gateways: Vec<Gateway>,
-    /// Station → segment table indexed by address, built at attach time:
-    /// the forwarding decision on every delivery is one array load, not
-    /// a map walk.
-    seg_of: [u16; 256],
+    /// Station → segment table indexed by address, built at attach time
+    /// and grown on demand (attaching station `m` sizes it to `m + 1`
+    /// entries, so a mesh only pays for the address range it uses): the
+    /// forwarding decision on every delivery is one array load, not a
+    /// map walk.
+    seg_of: Vec<u16>,
     /// `next_hop[s][d]` = the designated (gateway, egress segment)
     /// forwarding frames heard on segment `s` toward destination segment
     /// `d`; shortest path, ties broken by lowest gateway index then
@@ -191,6 +195,12 @@ pub struct Internetwork {
     dist: Vec<Vec<u16>>,
     /// Deliveries produced by forwarding, awaiting a poll.
     pending: Vec<Delivery>,
+    /// Scratch for the origin-segment transmit on paths that must route
+    /// its deliveries afterwards (reused across transmissions).
+    tx_scratch: Vec<Delivery>,
+    /// Scratch for gateway egress transmissions inside
+    /// [`Internetwork::forward_unicast`] / [`Internetwork::flood`].
+    fwd_scratch: Vec<Delivery>,
 }
 
 impl Internetwork {
@@ -264,11 +274,31 @@ impl Internetwork {
             cfg,
             segments,
             gateways,
-            seg_of: [UNPLACED; 256],
+            seg_of: Vec::new(),
             next_hop,
             dist,
             pending: Vec::new(),
+            tx_scratch: Vec::new(),
+            fwd_scratch: Vec::new(),
         }
+    }
+
+    /// Allocating convenience wrapper around the batched
+    /// [`Transport::transmit`], for tests and one-shot probes.
+    pub fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+        let mut deliveries = Vec::new();
+        let win = Transport::transmit(self, ready, frame, &mut deliveries);
+        TxResult {
+            tx_start: win.tx_start,
+            tx_end: win.tx_end,
+            deliveries,
+        }
+    }
+
+    /// Allocating convenience wrapper around the batched
+    /// [`Transport::poll_deliveries`].
+    pub fn poll_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.pending)
     }
 
     /// The configured topology.
@@ -279,9 +309,9 @@ impl Internetwork {
     /// The segment a station is attached to, if any. One array load —
     /// this sits on the forwarding hot path for every delivery.
     pub fn segment_of(&self, mac: MacAddr) -> Option<usize> {
-        match self.seg_of[mac.0 as usize] {
-            UNPLACED => None,
-            s => Some(s as usize),
+        match self.seg_of.get(mac.0 as usize) {
+            None | Some(&UNPLACED) => None,
+            Some(&s) => Some(s as usize),
         }
     }
 
@@ -342,54 +372,61 @@ impl Internetwork {
     /// `dest_seg`, hop by hop along the routing tables, queuing final
     /// deliveries into `pending`.
     fn forward_unicast(&mut self, mut at: SimTime, frame: &Frame, mut seg: usize, dest_seg: usize) {
-        loop {
-            let (g, egress) = match self.next_hop[seg][dest_seg] {
-                Some((g, e)) => (g as usize, e as usize),
-                None => return, // unreachable destination: nothing hears it
-            };
+        let mut buf = std::mem::take(&mut self.fwd_scratch);
+        // An unreachable destination falls straight through: nothing
+        // hears it.
+        while let Some((g, e)) = self.next_hop[seg][dest_seg] {
+            let (g, egress) = (g as usize, e as usize);
             let Some(start) = self.admit(g, at) else {
-                return;
+                break;
             };
             let cursor = start + self.cfg.forward_delay;
-            let tx = self.segments[egress].transmit(cursor, frame.clone());
-            self.gateways[g].free = tx.tx_end;
+            buf.clear();
+            let win = self.segments[egress].transmit_into(cursor, frame.clone(), &mut buf);
+            self.gateways[g].free = win.tx_end;
             self.gateways[g].stats.forwarded += 1;
 
             if egress == dest_seg {
                 // Final segment: the copies (possibly corrupted — the
                 // receiver's checksum is what rejects those) are host
                 // deliveries.
-                self.pending.extend(tx.deliveries);
-                return;
+                self.pending.append(&mut buf);
+                break;
             }
             // Intermediate segment: each copy is the next designated
             // gateway's ingress. Fault injection may have dropped it
             // (empty), corrupted it (the gateway's link-level check
-            // discards it) or duplicated it (both copies continue).
-            let mut continuations: Vec<SimTime> = Vec::new();
-            for d in tx.deliveries {
+            // discards it) or duplicated it (both copies continue). A
+            // unicast has one receiver, so at most two copies exist.
+            let mut continuations: [SimTime; 2] = [SimTime::ZERO; 2];
+            let mut n_cont = 0usize;
+            for d in buf.drain(..) {
                 if d.corrupted {
                     if let Some((ng, _)) = self.next_hop[egress][dest_seg] {
                         self.gateways[ng as usize].stats.corrupt_drops += 1;
                     }
                 } else {
-                    continuations.push(d.at);
+                    continuations[n_cont] = d.at;
+                    n_cont += 1;
                 }
             }
-            match continuations.len() {
-                0 => return,
+            match n_cont {
+                0 => break,
                 1 => {
                     at = continuations[0];
                     seg = egress;
                 }
                 _ => {
-                    for a in continuations {
+                    self.fwd_scratch = buf;
+                    for &a in &continuations[..n_cont] {
                         self.forward_unicast(a, frame, egress, dest_seg);
                     }
                     return;
                 }
             }
         }
+        buf.clear();
+        self.fwd_scratch = buf;
     }
 
     /// Floods a broadcast through the mesh. `visited` marks segments
@@ -404,27 +441,31 @@ impl Internetwork {
         visited: &mut [bool],
         mut ingress: VecDeque<(usize, usize, SimTime)>,
     ) {
+        let mut buf = std::mem::take(&mut self.fwd_scratch);
         while let Some((g, seg, at)) = ingress.pop_front() {
-            let targets: Vec<usize> = self.gateways[g]
+            let any_target = self.gateways[g]
                 .attached
                 .iter()
-                .copied()
-                .filter(|&e| e != seg && !visited[e])
-                .collect();
-            if targets.is_empty() {
+                .any(|&e| e != seg && !visited[e]);
+            if !any_target {
                 continue; // every reachable segment already covered
             }
             let Some(start) = self.admit(g, at) else {
                 continue;
             };
             let mut cursor = start + self.cfg.forward_delay;
-            for e in targets {
+            for i in 0..self.gateways[g].attached.len() {
+                let e = self.gateways[g].attached[i];
+                if e == seg || visited[e] {
+                    continue;
+                }
                 visited[e] = true;
-                let tx = self.segments[e].transmit(cursor, frame.clone());
-                cursor = tx.tx_end;
-                self.gateways[g].free = tx.tx_end;
+                buf.clear();
+                let win = self.segments[e].transmit_into(cursor, frame.clone(), &mut buf);
+                cursor = win.tx_end;
+                self.gateways[g].free = win.tx_end;
                 self.gateways[g].stats.forwarded += 1;
-                for d in tx.deliveries {
+                for d in buf.drain(..) {
                     match self.gateway_index(d.dst) {
                         // The emitting gateway's own copy on the egress
                         // segment must not re-enter the flood; a dead
@@ -442,6 +483,7 @@ impl Internetwork {
                 }
             }
         }
+        self.fwd_scratch = buf;
     }
 }
 
@@ -519,16 +561,30 @@ impl Transport for Internetwork {
             "segment {segment} does not exist (topology has {})",
             self.segments.len()
         );
+        if self.seg_of.len() <= mac.0 as usize {
+            self.seg_of.resize(mac.0 as usize + 1, UNPLACED);
+        }
         self.seg_of[mac.0 as usize] = segment as u16;
         self.segments[segment].register(mac);
     }
 
-    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+    fn transmit(&mut self, ready: SimTime, frame: Frame, out: &mut Vec<Delivery>) -> TxWindow {
         let from_seg = self
             .segment_of(frame.src)
             .expect("transmitting station is not attached to any segment");
-        let tx = self.segments[from_seg].transmit(ready, frame.clone());
-        let mut local = Vec::with_capacity(tx.deliveries.len());
+
+        // Fast path: a unicast whose destination sits on the origin
+        // segment never involves a gateway — transmit straight into
+        // `out` without cloning the frame.
+        if !frame.dst.is_broadcast() && self.segment_of(frame.dst) == Some(from_seg) {
+            return self.segments[from_seg].transmit_into(ready, frame, out);
+        }
+
+        // Forwarding paths need the frame after the origin-segment
+        // transmit, so that transmit lands in a reused scratch buffer.
+        let mut buf = std::mem::take(&mut self.tx_scratch);
+        buf.clear();
+        let win = self.segments[from_seg].transmit_into(ready, frame.clone(), &mut buf);
 
         if frame.dst.is_broadcast() {
             // Host copies on the origin segment deliver directly; copies
@@ -536,7 +592,7 @@ impl Transport for Internetwork {
             let mut visited = vec![false; self.segments.len()];
             visited[from_seg] = true;
             let mut ingress = VecDeque::new();
-            for d in tx.deliveries {
+            for d in buf.drain(..) {
                 match self.gateway_index(d.dst) {
                     // Dead gateways hear nothing: with them gone the
                     // flood degrades to covering only reachable segments.
@@ -548,39 +604,33 @@ impl Transport for Internetwork {
                             ingress.push_back((g, from_seg, d.at));
                         }
                     }
-                    None => local.push(d),
+                    None => out.push(d),
                 }
             }
             self.flood(&frame, &mut visited, ingress);
         } else {
-            for d in tx.deliveries {
-                match self.segment_of(d.dst) {
-                    Some(seg) if seg == from_seg => local.push(d),
-                    Some(dest_seg) => {
-                        // Off-segment destination: the designated gateway
-                        // on this segment hears the copy and routes it.
-                        if d.corrupted {
-                            if let Some((g, _)) = self.next_hop[from_seg][dest_seg] {
-                                self.gateways[g as usize].stats.corrupt_drops += 1;
-                            }
-                        } else {
-                            self.forward_unicast(d.at, &frame, from_seg, dest_seg);
-                        }
+            // Off-segment (or unattached) destination: the designated
+            // gateway on this segment hears each copy and routes it.
+            // An unknown destination has no segment: no station hears
+            // the copies, so they are simply discarded.
+            let dest = self.segment_of(frame.dst);
+            for d in buf.drain(..) {
+                let Some(dest_seg) = dest else { continue };
+                if d.corrupted {
+                    if let Some((g, _)) = self.next_hop[from_seg][dest_seg] {
+                        self.gateways[g as usize].stats.corrupt_drops += 1;
                     }
-                    // Unknown destination: no station hears it.
-                    None => {}
+                } else {
+                    self.forward_unicast(d.at, &frame, from_seg, dest_seg);
                 }
             }
         }
-        TxResult {
-            tx_start: tx.tx_start,
-            tx_end: tx.tx_end,
-            deliveries: local,
-        }
+        self.tx_scratch = buf;
+        win
     }
 
-    fn poll_deliveries(&mut self) -> Vec<Delivery> {
-        std::mem::take(&mut self.pending)
+    fn poll_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.pending);
     }
 
     fn stats(&self) -> MediumStats {
@@ -719,7 +769,7 @@ mod tests {
         // Segment 0 has only the sender (plus the gateway), so no direct
         // receivers.
         assert!(r.deliveries.is_empty());
-        let mut dsts: Vec<u8> = polled(&mut n).iter().map(|d| d.dst.0).collect();
+        let mut dsts: Vec<u16> = polled(&mut n).iter().map(|d| d.dst.0).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![2, 3]);
     }
@@ -772,14 +822,14 @@ mod tests {
         // exactly once and terminate.
         let mut n = Internetwork::new(MeshConfig::ring(4), 7);
         for s in 0..4 {
-            n.attach(MacAddr(1 + s as u8), s);
+            n.attach(MacAddr(1 + s as u16), s);
         }
         let r = n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
         assert!(
             r.deliveries.is_empty(),
             "origin segment has only the sender"
         );
-        let mut dsts: Vec<u8> = polled(&mut n).iter().map(|d| d.dst.0).collect();
+        let mut dsts: Vec<u16> = polled(&mut n).iter().map(|d| d.dst.0).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![2, 3, 4], "each host exactly once");
     }
@@ -883,7 +933,7 @@ mod tests {
         assert!(n.fail_gateway(1));
         // From segment 0 the flood reaches segment 1 but not 2.
         n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
-        let dsts: Vec<u8> = polled(&mut n).iter().map(|d| d.dst.0).collect();
+        let dsts: Vec<u16> = polled(&mut n).iter().map(|d| d.dst.0).collect();
         assert_eq!(dsts, vec![2], "only the near side hears the flood");
     }
 
@@ -893,6 +943,27 @@ mod tests {
         assert!(!n.fail_gateway(7));
         assert!(!n.restore_gateway(7));
         assert!(!n.gateway_alive(7));
+    }
+
+    #[test]
+    fn attach_past_256_stations_routes_and_floods() {
+        // The PR 4 station table was a fixed `[u16; 256]`; the growable
+        // table must carry addresses past the old 8-bit ceiling.
+        let mut n = Internetwork::new(InternetworkConfig::two_segments(), 13);
+        for i in 0..300u16 {
+            n.attach(MacAddr(1 + i), (i % 2) as usize);
+        }
+        assert_eq!(n.segment_of(MacAddr(300)), Some(1));
+        assert_eq!(n.segment_of(MacAddr(301)), None);
+        // Cross-segment unicast between two high addresses still routes.
+        n.transmit(SimTime::ZERO, frame(MacAddr(300), MacAddr(299), 64));
+        let fwd = polled(&mut n);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].dst, MacAddr(300));
+        // A broadcast from a high address reaches all 299 other stations.
+        let r = n.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(300), 64));
+        let flooded = polled(&mut n);
+        assert_eq!(r.deliveries.len() + flooded.len(), 299);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use v_sim::{SimDuration, SimTime, SplitMix64};
 
 use crate::fault::{scramble, Fate, FaultPlan, REDELIVERY_GAP};
 use crate::frame::{Frame, MacAddr};
-use crate::medium::{Delivery, MediumStats, TxResult};
+use crate::medium::{Delivery, MediumStats, TxResult, TxWindow};
 use crate::transport::Transport;
 
 /// Physical and error parameters of a point-to-point link.
@@ -116,6 +116,18 @@ impl PointToPointLink {
             self.stats.reordered += 1;
         }
     }
+
+    /// Allocating convenience wrapper around the batched
+    /// [`Transport::transmit`], for tests and one-shot probes.
+    pub fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+        let mut deliveries = Vec::new();
+        let win = Transport::transmit(self, ready, frame, &mut deliveries);
+        TxResult {
+            tx_start: win.tx_start,
+            tx_end: win.tx_end,
+            deliveries,
+        }
+    }
 }
 
 impl Transport for PointToPointLink {
@@ -131,7 +143,7 @@ impl Transport for PointToPointLink {
         self.endpoints.push(mac);
     }
 
-    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+    fn transmit(&mut self, ready: SimTime, frame: Frame, out: &mut Vec<Delivery>) -> TxWindow {
         assert!(
             frame.payload.len() <= self.params.max_payload,
             "frame payload {} exceeds link MTU {}",
@@ -155,7 +167,6 @@ impl Transport for PointToPointLink {
         self.stats.busy += wire;
 
         let peer = self.endpoints.iter().copied().find(|&m| m != frame.src);
-        let mut deliveries = Vec::new();
         let deliverable = match peer {
             Some(p) => frame.dst.is_broadcast() || frame.dst == p,
             None => false,
@@ -172,35 +183,24 @@ impl Transport for PointToPointLink {
                 Fate::Drop => self.stats.dropped += 1,
                 Fate::Deliver => {
                     self.note_reordered(reordered);
-                    deliveries.push(self.deliver(arrival, dst, &frame, false));
+                    out.push(self.deliver(arrival, dst, &frame, false));
                 }
                 Fate::DeliverCorrupted => {
                     self.note_reordered(reordered);
-                    deliveries.push(self.deliver(arrival, dst, &frame, true));
+                    out.push(self.deliver(arrival, dst, &frame, true));
                 }
                 Fate::DeliverTwice { corrupted } => {
                     self.note_reordered(reordered);
                     self.stats.duplicated += 1;
-                    deliveries.push(self.deliver(arrival, dst, &frame, corrupted));
-                    deliveries.push(self.deliver(
-                        arrival + self.redelivery_gap,
-                        dst,
-                        &frame,
-                        false,
-                    ));
+                    out.push(self.deliver(arrival, dst, &frame, corrupted));
+                    out.push(self.deliver(arrival + self.redelivery_gap, dst, &frame, false));
                 }
             }
         }
-        TxResult {
-            tx_start,
-            tx_end,
-            deliveries,
-        }
+        TxWindow { tx_start, tx_end }
     }
 
-    fn poll_deliveries(&mut self) -> Vec<Delivery> {
-        Vec::new()
-    }
+    fn poll_deliveries(&mut self, _out: &mut Vec<Delivery>) {}
 
     fn stats(&self) -> MediumStats {
         self.stats

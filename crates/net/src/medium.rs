@@ -1,7 +1,5 @@
 //! The shared Ethernet medium.
 
-use std::collections::BTreeSet;
-
 use v_sim::{SimDuration, SimTime, SplitMix64};
 
 use crate::fault::{scramble, Fate, FaultPlan, REDELIVERY_GAP};
@@ -107,6 +105,18 @@ pub struct TxResult {
     pub deliveries: Vec<Delivery>,
 }
 
+/// Transmit window of one transmission — the allocation-free part of a
+/// [`TxResult`]; the deliveries themselves land in a caller-owned
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxWindow {
+    /// When the transmission actually started (after any CSMA deferral).
+    pub tx_start: SimTime,
+    /// When the medium became free again; the sending interface is also
+    /// busy until this instant (single-buffered transmitter).
+    pub tx_end: SimTime,
+}
+
 /// Aggregate medium statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MediumStats {
@@ -197,7 +207,10 @@ impl MediumStats {
 #[derive(Debug)]
 pub struct Ethernet {
     params: NetParams,
-    stations: BTreeSet<MacAddr>,
+    /// Attached stations, kept sorted (broadcast fan-out iterates in
+    /// address order, which fixes the per-receiver fault-RNG draw
+    /// sequence and hence determinism).
+    stations: Vec<MacAddr>,
     medium_free: SimTime,
     faults: FaultPlan,
     bug: Option<CollisionBug>,
@@ -212,7 +225,7 @@ impl Ethernet {
     pub fn new(params: NetParams, seed: u64) -> Self {
         Ethernet {
             params,
-            stations: BTreeSet::new(),
+            stations: Vec::new(),
             medium_free: SimTime::ZERO,
             faults: FaultPlan::NONE,
             bug: None,
@@ -245,7 +258,9 @@ impl Ethernet {
     /// Registers a station so broadcasts reach it.
     pub fn register(&mut self, mac: MacAddr) {
         assert!(!mac.is_broadcast(), "cannot register the broadcast address");
-        self.stations.insert(mac);
+        if let Err(pos) = self.stations.binary_search(&mac) {
+            self.stations.insert(pos, mac);
+        }
     }
 
     /// Medium statistics so far.
@@ -253,16 +268,38 @@ impl Ethernet {
         self.stats
     }
 
+    /// Allocating convenience wrapper around
+    /// [`Ethernet::transmit_into`], for tests and one-shot probes; the
+    /// kernel hot path reuses a scratch buffer through the transport
+    /// trait instead.
+    pub fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+        let mut deliveries = Vec::new();
+        let win = self.transmit_into(ready, frame, &mut deliveries);
+        TxResult {
+            tx_start: win.tx_start,
+            tx_end: win.tx_end,
+            deliveries,
+        }
+    }
+
     /// Transmits `frame`, whose copy into the sending interface completed
-    /// at `ready`. Returns the transmission window and resulting
-    /// deliveries.
+    /// at `ready`, appending the resulting deliveries to `out`. A unicast
+    /// delivery reuses the transmitted frame itself; a broadcast clones
+    /// once per receiver and nothing else — there is no per-transmit
+    /// bookkeeping allocation, which is what lets a 1000-station
+    /// boot-storm broadcast stay cheap.
     ///
     /// # Panics
     ///
     /// Panics if the payload exceeds the MTU — the kernel's transfer
     /// engines are responsible for fragmentation, and exceeding the MTU
     /// there is a protocol bug worth failing loudly on.
-    pub fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
+    pub fn transmit_into(
+        &mut self,
+        ready: SimTime,
+        frame: Frame,
+        out: &mut Vec<Delivery>,
+    ) -> TxWindow {
         assert!(
             frame.payload.len() <= self.params.max_payload,
             "frame payload {} exceeds MTU {}",
@@ -295,50 +332,48 @@ impl Ethernet {
         }
 
         let arrival = tx_end + self.params.latency;
-        let receivers: Vec<MacAddr> = if frame.dst.is_broadcast() {
-            self.stations
-                .iter()
-                .copied()
-                .filter(|&m| m != frame.src)
-                .collect()
-        } else {
-            vec![frame.dst]
-        };
-
-        let mut deliveries = Vec::with_capacity(receivers.len());
-        for dst in receivers {
-            match self.faults.draw(&mut self.rng) {
-                Fate::Drop => {
-                    self.stats.dropped += 1;
+        if frame.dst.is_broadcast() {
+            for i in 0..self.stations.len() {
+                let dst = self.stations[i];
+                if dst == frame.src {
+                    continue;
                 }
-                Fate::Deliver => {
-                    deliveries.push(self.make_delivery(arrival, dst, &frame, bug_corrupt));
-                }
-                Fate::DeliverCorrupted => {
-                    deliveries.push(self.make_delivery(arrival, dst, &frame, true));
-                }
-                Fate::DeliverTwice { corrupted } => {
-                    self.stats.duplicated += 1;
-                    deliveries.push(self.make_delivery(
-                        arrival,
-                        dst,
-                        &frame,
-                        corrupted || bug_corrupt,
-                    ));
-                    deliveries.push(self.make_delivery(
-                        arrival + self.redelivery_gap,
-                        dst,
-                        &frame,
-                        bug_corrupt,
-                    ));
-                }
+                self.deliver_fate(out, arrival, dst, frame.clone(), bug_corrupt);
             }
+        } else {
+            let dst = frame.dst;
+            self.deliver_fate(out, arrival, dst, frame, bug_corrupt);
         }
 
-        TxResult {
-            tx_start,
-            tx_end,
-            deliveries,
+        TxWindow { tx_start, tx_end }
+    }
+
+    /// Draws one receiver's fate and appends the resulting deliveries
+    /// (zero, one or two) to `out`, consuming the frame.
+    fn deliver_fate(
+        &mut self,
+        out: &mut Vec<Delivery>,
+        arrival: SimTime,
+        dst: MacAddr,
+        frame: Frame,
+        bug_corrupt: bool,
+    ) {
+        match self.faults.draw(&mut self.rng) {
+            Fate::Drop => {
+                self.stats.dropped += 1;
+            }
+            Fate::Deliver => {
+                out.push(self.make_delivery(arrival, dst, frame, bug_corrupt));
+            }
+            Fate::DeliverCorrupted => {
+                out.push(self.make_delivery(arrival, dst, frame, true));
+            }
+            Fate::DeliverTwice { corrupted } => {
+                self.stats.duplicated += 1;
+                let dup = frame.clone();
+                out.push(self.make_delivery(arrival, dst, frame, corrupted || bug_corrupt));
+                out.push(self.make_delivery(arrival + self.redelivery_gap, dst, dup, bug_corrupt));
+            }
         }
     }
 
@@ -346,11 +381,10 @@ impl Ethernet {
         &mut self,
         at: SimTime,
         dst: MacAddr,
-        frame: &Frame,
+        mut frame: Frame,
         corrupted: bool,
     ) -> Delivery {
         self.stats.deliveries += 1;
-        let mut frame = frame.clone();
         frame.dst = dst;
         if corrupted {
             self.stats.corrupted += 1;
@@ -408,7 +442,7 @@ mod tests {
     fn broadcast_reaches_everyone_but_sender() {
         let mut e = net3();
         let r = e.transmit(SimTime::ZERO, frame(MacAddr::BROADCAST, MacAddr(1), 64));
-        let mut dsts: Vec<u8> = r.deliveries.iter().map(|d| d.dst.0).collect();
+        let mut dsts: Vec<u16> = r.deliveries.iter().map(|d| d.dst.0).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![2, 3]);
     }

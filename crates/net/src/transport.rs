@@ -13,7 +13,7 @@ use crate::fault::FaultPlan;
 use crate::frame::{Frame, MacAddr};
 use crate::internet::{Internetwork, InternetworkConfig, MeshConfig};
 use crate::link::{LinkParams, PointToPointLink};
-use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxResult};
+use crate::medium::{CollisionBug, Delivery, Ethernet, MediumStats, NetworkKind, TxWindow};
 
 /// Statistics of one store-and-forward element inside a transport.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,12 +49,15 @@ impl GatewayStats {
 
 /// A medium that moves frames between attached stations.
 ///
-/// A transmission returns its transmit window plus the deliveries it
-/// directly produces; transports with a forwarding element (gateways)
-/// additionally accumulate *forwarded* deliveries, which callers drain
-/// with [`Transport::poll_deliveries`] after each transmit. Every
-/// delivery carries its own arrival instant, so callers simply schedule
-/// them — ordering is the event queue's job.
+/// A transmission returns its transmit window and **appends** the
+/// deliveries it directly produces into a caller-owned scratch vector —
+/// the hot path of the whole simulation, so a 1000-receiver broadcast
+/// costs no per-transmit allocation beyond the frames themselves.
+/// Transports with a forwarding element (gateways) additionally
+/// accumulate *forwarded* deliveries, which callers drain with
+/// [`Transport::poll_deliveries`] after each transmit. Every delivery
+/// carries its own arrival instant, so callers simply schedule them —
+/// ordering is the event queue's job.
 pub trait Transport {
     /// Registers a station with the medium. `segment` places the station
     /// on a topology with more than one (ignored by single-segment
@@ -62,12 +65,13 @@ pub trait Transport {
     fn attach(&mut self, mac: MacAddr, segment: usize);
 
     /// Transmits `frame`, whose copy into the sending interface
-    /// completed at `ready`.
-    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult;
+    /// completed at `ready`, appending the resulting deliveries to
+    /// `out` (callers reuse the buffer across transmissions).
+    fn transmit(&mut self, ready: SimTime, frame: Frame, out: &mut Vec<Delivery>) -> TxWindow;
 
-    /// Drains deliveries produced by forwarding since the last call.
-    /// Single-hop transports always return an empty vector.
-    fn poll_deliveries(&mut self) -> Vec<Delivery>;
+    /// Drains deliveries produced by forwarding since the last call into
+    /// `out`. Single-hop transports append nothing.
+    fn poll_deliveries(&mut self, out: &mut Vec<Delivery>);
 
     /// Aggregate medium statistics (summed across segments for
     /// multi-segment topologies).
@@ -154,13 +158,11 @@ impl Transport for Ethernet {
         self.register(mac);
     }
 
-    fn transmit(&mut self, ready: SimTime, frame: Frame) -> TxResult {
-        Ethernet::transmit(self, ready, frame)
+    fn transmit(&mut self, ready: SimTime, frame: Frame, out: &mut Vec<Delivery>) -> TxWindow {
+        Ethernet::transmit_into(self, ready, frame, out)
     }
 
-    fn poll_deliveries(&mut self) -> Vec<Delivery> {
-        Vec::new()
-    }
+    fn poll_deliveries(&mut self, _out: &mut Vec<Delivery>) {}
 
     fn stats(&self) -> MediumStats {
         Ethernet::stats(self)
@@ -189,7 +191,8 @@ mod tests {
             Topology::SingleSegment(NetworkKind::Experimental3Mb).build(7);
         t.attach(MacAddr(1), 0);
         t.attach(MacAddr(2), 0);
-        let r = t.transmit(
+        let mut out = Vec::new();
+        t.transmit(
             SimTime::ZERO,
             Frame::new(
                 MacAddr(2),
@@ -197,9 +200,12 @@ mod tests {
                 crate::EtherType::RAW_BENCH,
                 vec![0; 64],
             ),
+            &mut out,
         );
-        assert_eq!(r.deliveries.len(), 1);
-        assert!(t.poll_deliveries().is_empty());
+        assert_eq!(out.len(), 1);
+        out.clear();
+        t.poll_deliveries(&mut out);
+        assert!(out.is_empty());
         assert_eq!(t.stats().frames_sent, 1);
         assert_eq!(t.max_payload(), 1100);
         assert!(t.gateway_stats().is_none());

@@ -50,8 +50,9 @@ fn frame(dst: MacAddr, len: usize) -> Frame {
 
 /// Transmit plus a poll drain — the full delivery set of one send.
 fn send(t: &mut dyn Transport, at: SimTime, f: Frame) -> Vec<v_net::Delivery> {
-    let mut ds = t.transmit(at, f).deliveries;
-    ds.extend(t.poll_deliveries());
+    let mut ds = Vec::new();
+    t.transmit(at, f, &mut ds);
+    t.poll_deliveries(&mut ds);
     ds
 }
 
@@ -281,12 +282,12 @@ fn mesh_broadcast_reaches_every_host_exactly_once() {
     // On a ring (which has a physical loop) a naive flood would circle
     // forever; the seen-set dedup must deliver exactly one copy per host.
     let mut t = Topology::Mesh(MeshConfig::ring(4)).build(14);
-    for s in 0..4u8 {
+    for s in 0..4u16 {
         t.attach(MacAddr(1 + s), s as usize);
         t.attach(MacAddr(11 + s), s as usize);
     }
     let ds = send(t.as_mut(), SimTime::ZERO, frame(MacAddr::BROADCAST, 64));
-    let mut dsts: Vec<u8> = ds.iter().map(|d| d.dst.0).collect();
+    let mut dsts: Vec<u16> = ds.iter().map(|d| d.dst.0).collect();
     dsts.sort_unstable();
     assert_eq!(
         dsts,

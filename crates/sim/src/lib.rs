@@ -6,7 +6,7 @@
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
 //! * [`EventQueue`] — a time-ordered event queue with deterministic
 //!   tie-breaking (events scheduled at the same instant pop in scheduling
-//!   order);
+//!   order), exposing engine throughput counters as [`SimStats`];
 //! * [`SplitMix64`] — a tiny, fast, seedable PRNG used for fault injection
 //!   and workload generation so every run is reproducible;
 //! * [`OnlineStats`] / [`Histogram`] — streaming statistics used by the
@@ -24,7 +24,7 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, SimStats};
 pub use rng::SplitMix64;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -21,6 +21,21 @@ pub struct EventQueue<E> {
     seq: u64,
     now: SimTime,
     scheduled: u64,
+    popped: u64,
+}
+
+/// Engine-level counters of one simulation run, snapshotted from the
+/// event queue ([`EventQueue::stats`]). This is the observable
+/// events-processed surface the `v-bench engine` throughput experiment
+/// and chaos debugging read; it needs no harness instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events popped (processed) so far.
+    pub popped: u64,
+    /// Events still pending.
+    pub pending: usize,
 }
 
 #[derive(Debug)]
@@ -61,6 +76,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             scheduled: 0,
+            popped: 0,
         }
     }
 
@@ -92,6 +108,7 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
+        self.popped += 1;
         Some((entry.at, entry.event))
     }
 
@@ -113,6 +130,20 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (diagnostic).
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// Total number of events ever popped (diagnostic).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            scheduled: self.scheduled,
+            popped: self.popped,
+            pending: self.heap.len(),
+        }
     }
 }
 
@@ -187,5 +218,23 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 10);
         assert!(q.is_empty());
         assert_eq!(q.total_scheduled(), 3);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_schedules_and_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), SimStats::default());
+        q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        q.pop();
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(
+            q.stats(),
+            SimStats {
+                scheduled: 2,
+                popped: 1,
+                pending: 1,
+            }
+        );
     }
 }

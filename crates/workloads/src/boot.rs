@@ -1,0 +1,320 @@
+//! Boot storm: N diskless hosts mass-loading a program image at once.
+//!
+//! The paper's §7 capacity argument ("a disk server of this performance
+//! can adequately support a reasonable number of client workstations")
+//! extrapolates from two-host benches; the cluster deployments that
+//! followed — AutoClient farms, shared-root compute clusters — made the
+//! scenario literal: hundreds of diskless clients power on together and
+//! page their boot image off shared file servers. This module builds
+//! that scenario end to end:
+//!
+//! * a mesh of 3 Mb segments behind a hub gateway, one file-service
+//!   shard per segment ([`v_fs::ShardMap`] placement), every shard
+//!   serving a clone of the same read-only image catalogue (a
+//!   replicated root, sharded routing);
+//! * N client hosts spread round-robin over the segments, each running
+//!   a `BootClient` program: resolve the owning shard's logical id
+//!   with broadcast `GetPid`, then perform the §6.3 two-read program
+//!   load ([`v_fs::loader::ProgramLoader`]) — header block, then the
+//!   image via `MoveTo`;
+//! * clients power on in waves ([`BootStormConfig::wave`]), the
+//!   staggered ramp of a building's worth of workstations booting.
+//!
+//! Every client's image placement hashes to the client's own segment,
+//! so page traffic stays local and only the resolution broadcasts cross
+//! the gateway — the arrangement the sharded placement exists to
+//! produce. The run is fully deterministic; [`BootStormReport::to_json`]
+//! is byte-stable across identical runs, which the determinism pinning
+//! test relies on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use v_fs::loader::{install_image, LoadReport, ProgramLoader};
+use v_fs::{spawn_shard_server, BlockStore, DiskModel, FileServerConfig, ShardMap};
+use v_kernel::naming::Scope;
+use v_kernel::{Api, Cluster, ClusterConfig, CpuSpeed, HostId, Outcome, Program};
+use v_net::MeshConfig;
+use v_sim::SimDuration;
+
+/// Shape of one boot storm.
+#[derive(Debug, Clone)]
+pub struct BootStormConfig {
+    /// Number of diskless client hosts.
+    pub clients: usize,
+    /// File-service shards (= mesh segments); each shard's server host
+    /// sits on its own segment.
+    pub shards: usize,
+    /// Program image size in bytes (excluding the header block).
+    pub image_size: u32,
+    /// Clients powered on per wave.
+    pub wave: usize,
+    /// Simulated spacing between waves.
+    pub wave_spacing: SimDuration,
+    /// Processor grade of every host.
+    pub cpu: CpuSpeed,
+}
+
+impl BootStormConfig {
+    /// A storm of `clients` hosts with proportionate shard count
+    /// (one file-service shard per ~64 clients, within the
+    /// [`ShardMap`] id-range limit).
+    pub fn new(clients: usize) -> BootStormConfig {
+        assert!(clients >= 1, "a boot storm needs at least one client");
+        BootStormConfig {
+            clients,
+            shards: (clients / 64).clamp(2, 16),
+            image_size: 8192,
+            wave: 64,
+            wave_spacing: SimDuration::from_millis(10),
+            cpu: CpuSpeed::Mc68000At10MHz,
+        }
+    }
+}
+
+/// Aggregate outcome of a boot storm, including the engine counters the
+/// `v-bench engine` throughput experiment reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BootStormReport {
+    /// Clients configured.
+    pub clients: usize,
+    /// Shards configured.
+    pub shards: usize,
+    /// Image size in bytes.
+    pub image_bytes: u32,
+    /// Clients whose image arrived and verified.
+    pub loaded: u64,
+    /// Protocol errors across all loads.
+    pub errors: u64,
+    /// Image verification failures.
+    pub integrity_errors: u64,
+    /// Clients that never resolved their shard server.
+    pub resolve_failures: u64,
+    /// Simulated time the whole storm took, milliseconds.
+    pub sim_ms: f64,
+    /// Events scheduled by the engine ([`v_sim::SimStats::scheduled`]).
+    pub events_scheduled: u64,
+    /// Events popped by the engine ([`v_sim::SimStats::popped`]).
+    pub events_popped: u64,
+    /// Logical events dispatched ([`Cluster::events_dispatched`]) — the
+    /// batching-independent count the throughput metric divides by.
+    pub events_dispatched: u64,
+    /// Frames transmitted across all segments.
+    pub frames_sent: u64,
+    /// Frame deliveries across all segments.
+    pub deliveries: u64,
+    /// `GetPid` broadcasts issued by clients.
+    pub getpid_broadcasts: u64,
+    /// Send retransmissions (contention and loss recovery).
+    pub retransmissions: u64,
+    /// Bulk-transfer chunks sent (the image pages).
+    pub chunks_sent: u64,
+}
+
+impl BootStormReport {
+    /// Byte-stable JSON rendering (fixed field order, fixed float
+    /// precision): two identical runs must serialize identically.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"clients\":{},\"shards\":{},\"image_bytes\":{},",
+                "\"loaded\":{},\"errors\":{},\"integrity_errors\":{},",
+                "\"resolve_failures\":{},\"sim_ms\":{:.3},",
+                "\"events_scheduled\":{},\"events_popped\":{},",
+                "\"events_dispatched\":{},\"frames_sent\":{},",
+                "\"deliveries\":{},\"getpid_broadcasts\":{},",
+                "\"retransmissions\":{},\"chunks_sent\":{}}}"
+            ),
+            self.clients,
+            self.shards,
+            self.image_bytes,
+            self.loaded,
+            self.errors,
+            self.integrity_errors,
+            self.resolve_failures,
+            self.sim_ms,
+            self.events_scheduled,
+            self.events_popped,
+            self.events_dispatched,
+            self.frames_sent,
+            self.deliveries,
+            self.getpid_broadcasts,
+            self.retransmissions,
+            self.chunks_sent,
+        )
+    }
+}
+
+/// One booting workstation: broadcast-resolve the owning shard, then
+/// run the §6.3 two-read load against it.
+struct BootClient {
+    logical_id: u32,
+    name: String,
+    report: Rc<RefCell<LoadReport>>,
+    resolve_failures: Rc<RefCell<u64>>,
+    inner: Option<ProgramLoader>,
+}
+
+impl Program for BootClient {
+    fn resume(&mut self, api: &mut Api<'_>, outcome: Outcome) {
+        match (&mut self.inner, outcome) {
+            (None, Outcome::Started) => api.get_pid(self.logical_id, Scope::Both),
+            (None, Outcome::GetPid(Some(server))) => {
+                let mut loader = ProgramLoader::new(server, self.name.clone(), self.report.clone());
+                loader.resume(api, Outcome::Started);
+                self.inner = Some(loader);
+            }
+            (None, _) => {
+                *self.resolve_failures.borrow_mut() += 1;
+                api.exit();
+            }
+            (Some(loader), outcome) => loader.resume(api, outcome),
+        }
+    }
+}
+
+/// Runs one boot storm to quiescence and collects the report.
+pub fn run_boot_storm(cfg: &BootStormConfig) -> BootStormReport {
+    let shards = cfg.shards;
+    let map = ShardMap::new(shards);
+
+    let mut cluster_cfg = ClusterConfig::mesh(MeshConfig::star(shards));
+    for s in 0..shards {
+        cluster_cfg = cluster_cfg.with_host_on(cfg.cpu, s); // server host
+    }
+    for j in 0..cfg.clients {
+        cluster_cfg = cluster_cfg.with_host_on(cfg.cpu, j % shards);
+    }
+    let mut cl = Cluster::new(cluster_cfg);
+
+    // Replicated read-only root: one master catalogue holding every
+    // shard's image name, cloned into every shard server, so file ids
+    // agree everywhere and any shard could serve any name.
+    let names: Vec<String> = (0..shards)
+        .map(|s| map.name_for_shard(s, "bootimage"))
+        .collect();
+    let mut master = BlockStore::new();
+    for name in &names {
+        install_image(&mut master, name, cfg.image_size, 0xB7);
+    }
+    for s in 0..shards {
+        spawn_shard_server(
+            &mut cl,
+            HostId(s),
+            &map,
+            s,
+            FileServerConfig {
+                disk: DiskModel::fixed(SimDuration::from_millis(2)),
+                transfer_unit: 4096,
+                ..FileServerConfig::default()
+            },
+            master.clone(),
+        );
+    }
+    cl.run(); // every server parked in its Receive
+
+    let reports: Vec<Rc<RefCell<LoadReport>>> = (0..cfg.clients)
+        .map(|_| Rc::new(RefCell::new(LoadReport::default())))
+        .collect();
+    let resolve_failures = Rc::new(RefCell::new(0u64));
+
+    // Power the clients on in waves.
+    let mut next = 0;
+    while next < cfg.clients {
+        let end = (next + cfg.wave.max(1)).min(cfg.clients);
+        for (j, report) in reports.iter().enumerate().take(end).skip(next) {
+            let shard = j % shards;
+            cl.spawn(
+                HostId(shards + j),
+                "bootclient",
+                Box::new(BootClient {
+                    logical_id: map.logical_id(shard),
+                    name: names[shard].clone(),
+                    report: report.clone(),
+                    resolve_failures: resolve_failures.clone(),
+                    inner: None,
+                }),
+            );
+        }
+        next = end;
+        if next < cfg.clients {
+            let deadline = cl.now() + cfg.wave_spacing;
+            cl.run_until(deadline);
+        }
+    }
+    cl.run();
+
+    let mut out = BootStormReport {
+        clients: cfg.clients,
+        shards,
+        image_bytes: cfg.image_size,
+        resolve_failures: *resolve_failures.borrow(),
+        sim_ms: cl.now().since(v_sim::SimTime::ZERO).as_millis_f64(),
+        ..BootStormReport::default()
+    };
+    for report in &reports {
+        let r = report.borrow();
+        out.loaded += r.loaded as u64;
+        out.errors += r.errors;
+        out.integrity_errors += r.integrity_errors;
+    }
+    let sim = cl.sim_stats();
+    out.events_scheduled = sim.scheduled;
+    out.events_popped = sim.popped;
+    out.events_dispatched = cl.events_dispatched();
+    let medium = cl.medium_stats();
+    out.frames_sent = medium.frames_sent;
+    out.deliveries = medium.deliveries;
+    for h in 0..cl.num_hosts() {
+        let k = cl.kernel_stats(HostId(h));
+        out.getpid_broadcasts += k.getpid_broadcasts;
+        out.retransmissions += k.retransmissions;
+        out.chunks_sent += k.chunks_sent;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_storm_loads_every_client() {
+        let mut cfg = BootStormConfig::new(8);
+        cfg.image_size = 2048;
+        let r = run_boot_storm(&cfg);
+        assert_eq!(r.loaded, 8, "{r:?}");
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.integrity_errors, 0);
+        assert_eq!(r.resolve_failures, 0);
+        assert!(r.getpid_broadcasts >= 8, "every client resolves by name");
+        assert!(r.chunks_sent > 0, "images move in MoveTo chunks");
+        assert!(r.events_popped > 0 && r.events_scheduled >= r.events_popped);
+    }
+
+    #[test]
+    fn storm_is_deterministic_run_to_run() {
+        // Two in-process runs of the same 512-host storm must agree to
+        // the byte: every kernel table iterates in a defined order (the
+        // slab/linear-map containers replaced std::HashMap, whose order
+        // varies between instances within one process), so nothing in
+        // the report may wiggle.
+        let mut cfg = BootStormConfig::new(512);
+        cfg.image_size = 2048;
+        let first = run_boot_storm(&cfg).to_json();
+        let second = run_boot_storm(&cfg).to_json();
+        assert_eq!(first, second, "byte-identical reports across runs");
+        assert!(first.contains("\"loaded\":512"), "{first}");
+    }
+
+    #[test]
+    fn storm_crosses_the_old_station_ceiling() {
+        // 300 clients + shard servers puts station addresses past the
+        // 8-bit space end to end (attach, logical hosts, delivery).
+        let mut cfg = BootStormConfig::new(300);
+        cfg.image_size = 1024;
+        let r = run_boot_storm(&cfg);
+        assert_eq!(r.loaded, 300, "{r:?}");
+        assert_eq!(r.errors + r.integrity_errors + r.resolve_failures, 0);
+    }
+}

@@ -24,6 +24,7 @@
 //!   gateway failure, lossy periods and partitions) that scenarios and
 //!   benches inject deterministically mid-run.
 
+pub mod boot;
 pub mod chaos;
 pub mod echo;
 pub mod load;
