@@ -7,6 +7,7 @@
 //! format and the CI deviation gate.
 
 mod ablations;
+mod datapath;
 mod engine;
 mod failover;
 mod fileserver;
@@ -24,6 +25,7 @@ mod wan;
 pub use ablations::{
     ip_encapsulation, netserver_relay, protocol_ablations, streaming_comparison, wfs_comparison,
 };
+pub use datapath::{datapath, datapath_with_rounds};
 pub use engine::{engine_throughput, engine_with_sizes};
 pub use failover::{failover, failover_with_rounds};
 pub use fileserver::file_server_capacity;

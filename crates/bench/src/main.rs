@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|ablate|engine]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|datapath|ablate|engine]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -46,6 +46,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "shard" => exp::shard_placement(),
         "failover" => exp::failover(),
         "pipeline" => exp::pipeline_contention(),
+        "datapath" => exp::datapath(),
         "ablate" => exp::protocol_ablations(),
         "engine" => exp::engine_throughput(),
         other => {
@@ -55,7 +56,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 19] = [
+const ALL: [&str; 20] = [
     "4-1",
     "5-1",
     "5-2",
@@ -73,6 +74,7 @@ const ALL: [&str; 19] = [
     "shard",
     "failover",
     "pipeline",
+    "datapath",
     "ablate",
     "engine",
 ];
@@ -177,14 +179,17 @@ fn main() {
         ok &= process(&f, "failover", &opts);
         let p = exp::pipeline_with_rounds(8);
         ok &= process(&p, "pipeline", &opts);
+        let d = exp::datapath_with_rounds(8);
+        ok &= process(&d, "datapath", &opts);
         let e = exp::engine_with_sizes(&[48]);
         ok &= process(&e, "engine", &opts);
         if !ok {
             std::process::exit(2);
         }
         println!(
-            "smoke OK: Table 4-1, WAN, shard, failover, server-team pipelines and the \
-             boot-storm engine gate ran end to end (tiny rounds, not a measurement)"
+            "smoke OK: Table 4-1, WAN, shard, failover, server-team pipelines, the \
+             data-path table and the boot-storm engine gate ran end to end (tiny rounds, \
+             not a measurement)"
         );
         return;
     }

@@ -295,3 +295,55 @@ fn protocol_ablations_quantify_their_mechanisms() {
     assert!(metric_of(&c, "cached replies retransmitted") > 0.0);
     assert!(metric_of(&c, "re-deliveries without the cache") > 0.0);
 }
+
+#[test]
+fn datapath_scales_with_arms_and_keeps_both_ablations_bit_identical() {
+    let c = exp::datapath_with_rounds(40);
+    // Bit-identical ablation arms. `arms = 1` must be the pre-striping
+    // disk — the default-config burst and the explicit single-arm burst
+    // may not differ by one event. Exact float equality.
+    let striping = metric_of(&c, "arms=1 perturbation of the single-arm burst");
+    assert_eq!(
+        striping, 0.0,
+        "a 1-arm striped build perturbed the single-arm burst by {striping} ms"
+    );
+    // Likewise the fast path must be invisible to any exchange that
+    // touches the wire: same remote timeline with the toggle on or off.
+    let remote = metric_of(&c, "fastpath perturbation of the remote pair");
+    assert_eq!(
+        remote, 0.0,
+        "local_fastpath perturbed a remote exchange by {remote} ms"
+    );
+    // Striping caps the queueing centre: with 4 workers feeding it, a
+    // 4-arm unit must serve the same burst at >= 1.5x the single-arm
+    // throughput (the acceptance bar for this experiment).
+    let gain = metric_of(&c, "arms=4 throughput gain over arms=1");
+    assert!(
+        gain >= 1.5,
+        "arms=4 throughput gain {gain:.2}x fell below the 1.5x bar"
+    );
+    // Each additional arm must also shorten the per-read latency.
+    let one = metric_of(&c, "burst of 8, arms=1: per read");
+    let two = metric_of(&c, "burst of 8, arms=2: per read");
+    let four = metric_of(&c, "burst of 8, arms=4: per read");
+    assert!(
+        four < two && two < one,
+        "per read must fall with arm count: {one:.2} / {two:.2} / {four:.2} ms"
+    );
+    // The zero-copy hand-off must strictly beat the copying local path
+    // in both transfer styles, and never fire on the remote pair.
+    let seg_copy = metric_of(&c, "co-located page read, copy path");
+    let seg_fast = metric_of(&c, "co-located page read, fast path");
+    assert!(
+        seg_fast < seg_copy,
+        "fast path {seg_fast:.3} ms must strictly beat the copy path {seg_copy:.3} ms"
+    );
+    let mv_copy = metric_of(&c, "co-located Thoth (MoveTo) read, copy path");
+    let mv_fast = metric_of(&c, "co-located Thoth (MoveTo) read, fast path");
+    assert!(
+        mv_fast < mv_copy,
+        "Thoth fast path {mv_fast:.3} ms must strictly beat the copy path {mv_copy:.3} ms"
+    );
+    assert!(metric_of(&c, "fast-path hand-offs per read") > 0.0);
+    assert!(metric_of(&c, "copy bytes saved per read") >= 512.0);
+}

@@ -94,6 +94,20 @@ pub struct ProtocolConfig {
     /// "alien keep = 0" ablation) frees descriptors immediately, so a
     /// lost reply costs a full re-delivery.
     pub reply_caching: bool,
+    /// Zero-copy same-host transport. A `Send`/`Reply`/`MoveTo`/
+    /// `MoveFrom` whose peer resolves to the local host never touches
+    /// the wire, but the classic (Thoth-style) delivery still pays a
+    /// memory-to-memory copy per data byte. With the fast path on, the
+    /// kernel instead remaps the pages carrying the typed message data
+    /// into the peer's space through the kernel's loopback path,
+    /// charging one fixed [`crate::CostModel::local_hop`] per
+    /// delivery in place of `segment/move fixed + copy_mem(n)` and
+    /// counting `n` into
+    /// [`crate::KernelStats::local_fastpath_bytes_saved`]. Off (the
+    /// default) is bit-identical to the historical copy-based path, and
+    /// remote exchanges are untouched either way — a stale pid on a
+    /// restarted host still Nacks exactly like the wire path.
+    pub local_fastpath: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -118,6 +132,7 @@ impl Default for ProtocolConfig {
             encapsulation: Encapsulation::Raw,
             appended_segments: true,
             reply_caching: true,
+            local_fastpath: false,
         }
     }
 }
@@ -294,6 +309,10 @@ mod tests {
         assert_eq!(p.encapsulation, Encapsulation::Raw);
         assert!(p.appended_segments, "paper's kernel appends segments");
         assert!(p.reply_caching, "paper's kernel caches replies");
+        assert!(
+            !p.local_fastpath,
+            "zero-copy local transport is opt-in; default matches the paper"
+        );
     }
 
     #[test]

@@ -89,6 +89,12 @@ pub struct CostModel {
     pub forward: SimDuration,
     /// Extra fixed work for segment-carrying receive/reply variants.
     pub segment_fixed: SimDuration,
+    /// Zero-copy same-host delivery: the fixed cost of remapping the
+    /// pages carrying a message's data into the peer's space (page-table
+    /// bookkeeping, no per-byte copy). Charged in place of
+    /// `segment_fixed`/`move_local_fixed` + `copy_mem(n)` when
+    /// [`crate::ProtocolConfig::local_fastpath`] is on; idle otherwise.
+    pub local_hop: SimDuration,
 
     // Remote protocol costs -----------------------------------------------
     /// Client-side `NonLocalSend` protocol work (addressing, sequence
@@ -147,6 +153,7 @@ impl CostModel {
             reply_local: us(200),
             forward: us(200),
             segment_fixed: us(250),
+            local_hop: us(120),
             send_remote: us(300),
             reply_remote: us(250),
             alien_alloc: us(120),
@@ -186,6 +193,7 @@ impl CostModel {
             reply_local: scale(base.reply_local),
             forward: scale(base.forward),
             segment_fixed: scale(base.segment_fixed),
+            local_hop: scale(base.local_hop),
             send_remote: scale(base.send_remote),
             reply_remote: scale(base.reply_remote),
             alien_alloc: scale(base.alien_alloc),
@@ -305,6 +313,18 @@ mod tests {
         assert!(m10.send_local < m8.send_local);
         assert!(m10.frame_build < m8.frame_build);
         assert!(m10.syscall_min < m8.syscall_min);
+    }
+
+    #[test]
+    fn local_hop_undercuts_the_copy_path_always() {
+        // The zero-copy delivery must be strictly cheaper than the
+        // classic path for *any* payload: the remap cost is below the
+        // fixed part of both the segment and the move path alone, so
+        // adding copy_mem(n) only widens the gap.
+        for m in [CostModel::mc68000_8mhz(), CostModel::mc68000_10mhz()] {
+            assert!(m.local_hop < m.segment_fixed);
+            assert!(m.local_hop < m.move_local_fixed);
+        }
     }
 
     #[test]

@@ -52,6 +52,26 @@ impl Ctx<'_> {
         self.host.cpu.charge(t, cost).end
     }
 
+    /// Cost of handing `n` bytes of message data between two co-located
+    /// processes' spaces — the same-host loopback leg every local
+    /// `Send`/`Reply` segment and local `MoveTo`/`MoveFrom` pays instead
+    /// of the wire. Classic (Thoth-style) delivery charges the fixed
+    /// bookkeeping plus a memory-to-memory copy; with
+    /// [`ProtocolConfig::local_fastpath`] on, the kernel remaps the
+    /// pages carrying the typed data into the peer's space for one fixed
+    /// [`crate::CostModel::local_hop`], and the counters record the copy
+    /// the exchange skipped. Never reached for remote peers, so the
+    /// toggle cannot perturb the wire path.
+    pub(crate) fn local_data_cost(&mut self, fixed: SimDuration, n: usize) -> SimDuration {
+        if self.proto.local_fastpath {
+            self.host.stats.local_fastpath_sends += 1;
+            self.host.stats.local_fastpath_bytes_saved += n as u64;
+            self.host.costs.local_hop
+        } else {
+            fixed + self.host.costs.copy_mem(n)
+        }
+    }
+
     /// Schedules a process resume on this host.
     pub(crate) fn resume_at(&mut self, at: SimTime, pid: Pid, outcome: Outcome) {
         self.queue.schedule(

@@ -220,11 +220,14 @@ impl Ctx<'_> {
                     SegData::Local { start, len } => {
                         let n = size.min(len);
                         if n > 0 {
-                            let sp = self.host.proc(sender).expect("checked");
-                            if let Ok(data) = sp.space.read(start, n as usize) {
-                                cost += self.host.costs.segment_fixed
-                                    + self.host.costs.copy_mem(n as usize);
-                                seg_bytes = Some((buf, data.to_vec()));
+                            let data = {
+                                let sp = self.host.proc(sender).expect("checked");
+                                sp.space.read(start, n as usize).ok().map(|d| d.to_vec())
+                            };
+                            if let Some(data) = data {
+                                cost +=
+                                    self.local_data_cost(self.host.costs.segment_fixed, n as usize);
+                                seg_bytes = Some((buf, data));
                                 seg_len = n;
                             }
                         }
@@ -303,7 +306,7 @@ impl Ctx<'_> {
                 grant.check(dest_ptr, len, Access::Write)?;
                 let rp = self.host.proc(replier).expect("replier exists");
                 let data = rp.space.read(src_addr, len as usize)?.to_vec();
-                cost += self.host.costs.segment_fixed + self.host.costs.copy_mem(len as usize);
+                cost += self.local_data_cost(self.host.costs.segment_fixed, len as usize);
                 write = Some((dest_ptr, data));
             }
             let end = self.charge(t, cost);

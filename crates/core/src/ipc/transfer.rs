@@ -58,7 +58,7 @@ impl Ctx<'_> {
                 }
                 Ok(data) => {
                     let cost =
-                        self.host.costs.move_local_fixed + self.host.costs.copy_mem(count as usize);
+                        self.local_data_cost(self.host.costs.move_local_fixed, count as usize);
                     let end = self.charge(t, cost);
                     let target = self.host.proc_mut(dst).expect("checked");
                     if target.space.write(dest, &data).is_err() {
@@ -223,7 +223,7 @@ impl Ctx<'_> {
                 }
                 Ok(data) => {
                     let cost =
-                        self.host.costs.move_local_fixed + self.host.costs.copy_mem(count as usize);
+                        self.local_data_cost(self.host.costs.move_local_fixed, count as usize);
                     let end = self.charge(t, cost);
                     let rp = self.host.proc_mut(requester).expect("requester exists");
                     if rp.space.write(dest, &data).is_err() {

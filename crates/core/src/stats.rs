@@ -79,4 +79,11 @@ pub struct KernelStats {
     /// Frames addressed to this host while it was down (counted by the
     /// simulation, not the dead kernel: the bits died at the interface).
     pub frames_dropped_down: u64,
+    /// Same-host data deliveries that took the zero-copy fast path
+    /// ([`crate::ProtocolConfig::local_fastpath`]): segment hand-offs in
+    /// `Receive`/`Reply` plus local `MoveTo`/`MoveFrom` transfers.
+    pub local_fastpath_sends: u64,
+    /// Bytes those deliveries would have copied memory-to-memory on the
+    /// classic local path — the copy tax the page remap avoided.
+    pub local_fastpath_bytes_saved: u64,
 }

@@ -1,18 +1,34 @@
-//! The file server's disk.
+//! The file server's disk — now a configurable multi-arm (striped) unit.
 //!
 //! The paper's analysis only needs a disk's *latency distribution*: Table
 //! 6-2 sweeps 10/15/20 ms, §6.1 estimates 20 ms per access, and §7 treats
 //! disk scheduling as "identical to conventional multi-user systems".
-//! This model charges a fixed access latency plus per-byte transfer time,
-//! with optional uniform jitter, and serializes requests (one arm).
+//! Each **arm** charges a positioning latency (seek + rotation) plus
+//! per-byte transfer time, with optional uniform jitter, and serializes
+//! its own requests. A [`DiskParams`]-built unit may carry several
+//! independent arms with blocks **striped** across them RAID-0 style
+//! (configurable stripe width), so concurrent requests for different
+//! stripes overlap their seeks — the classic multi-arm capacity lift.
+//!
+//! The single-arm default is bit-identical to the historical one-arm
+//! model: same request arithmetic, same jitter stream, same counters.
 
 use std::collections::VecDeque;
 
 use v_sim::{SimDuration, SimTime, SplitMix64};
 
-/// Counters a [`DiskModel`] accumulates — the queueing-center view of
-/// the spindle that capacity analysis needs: how often requests piled up
+use crate::BLOCK_SIZE;
+
+/// Default per-byte transfer time: a 1983-plausible 1 MB/s rate.
+const DEFAULT_PER_BYTE: SimDuration = SimDuration::from_nanos(1_000);
+/// Default jitter seed (no jitter drawn unless jitter is nonzero).
+const DEFAULT_SEED: u64 = 0xD15C;
+
+/// Counters a disk arm accumulates — the queueing-center view of the
+/// spindle that capacity analysis needs: how often requests piled up
 /// behind the arm, how deep the pile got, and how busy the arm was.
+/// [`DiskModel::stats`] returns the [`DiskStats::absorb`]-aggregated
+/// view across every arm.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
     /// Requests issued.
@@ -28,7 +44,9 @@ pub struct DiskStats {
 }
 
 impl DiskStats {
-    /// Arm utilization over an elapsed interval.
+    /// Arm utilization over an elapsed interval. For an aggregate over
+    /// `n` arms this can exceed 1.0; divide by the arm count (or use
+    /// [`DiskModel::utilization`]) for the normalized figure.
     pub fn utilization(&self, elapsed: SimDuration) -> f64 {
         if elapsed.is_zero() {
             0.0
@@ -36,17 +54,109 @@ impl DiskStats {
             self.busy.as_secs_f64() / elapsed.as_secs_f64()
         }
     }
+
+    /// Folds another arm's counters into this one: counts and times sum,
+    /// the queue-depth high-water mark takes the max.
+    pub fn absorb(&mut self, other: &DiskStats) {
+        self.requests += other.requests;
+        self.queued += other.queued;
+        self.busy += other.busy;
+        self.waited += other.waited;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+    }
 }
 
-/// A single-spindle disk.
-#[derive(Debug, Clone)]
-pub struct DiskModel {
-    /// Fixed positioning latency per request (seek + rotation).
-    pub access: SimDuration,
-    /// Uniform extra jitter in `[0, jitter)` per request.
-    pub jitter: SimDuration,
+/// Mechanical parameters of a disk unit. The positioning latency is
+/// split into its seek and rotational components (their *sum* is what a
+/// request pays, so `DiskParams::fixed(d)` — all-seek, zero rotation —
+/// reproduces the historical combined-latency model exactly).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskParams {
+    /// Arm positioning (seek) latency per request.
+    pub seek: SimDuration,
+    /// Rotational latency per request.
+    pub rotation: SimDuration,
     /// Transfer time per byte off the platters.
     pub per_byte: SimDuration,
+    /// Uniform extra jitter in `[0, jitter)` per request.
+    pub jitter: SimDuration,
+    /// Seed for the jitter stream (arm `i` draws from `seed + i`).
+    pub seed: u64,
+    /// Independent arms blocks are striped across.
+    pub arms: usize,
+    /// Stripe width: consecutive blocks per arm before the next arm
+    /// takes over.
+    pub stripe_blocks: u32,
+}
+
+impl DiskParams {
+    /// A single-arm disk with a fixed combined positioning latency —
+    /// the historical model.
+    pub fn fixed(access: SimDuration) -> DiskParams {
+        DiskParams {
+            seek: access,
+            rotation: SimDuration::ZERO,
+            per_byte: DEFAULT_PER_BYTE,
+            jitter: SimDuration::ZERO,
+            seed: DEFAULT_SEED,
+            arms: 1,
+            stripe_blocks: 1,
+        }
+    }
+
+    /// A single-arm disk with explicit seek and rotational components
+    /// (a request pays their sum).
+    pub fn split(seek: SimDuration, rotation: SimDuration) -> DiskParams {
+        DiskParams {
+            seek,
+            rotation,
+            ..DiskParams::fixed(SimDuration::ZERO)
+        }
+    }
+
+    /// Stripes the unit over `n` independent arms.
+    pub fn arms(mut self, n: usize) -> DiskParams {
+        assert!(n >= 1, "a disk needs at least one arm");
+        self.arms = n;
+        self
+    }
+
+    /// Sets the stripe width in blocks.
+    pub fn stripe(mut self, blocks: u32) -> DiskParams {
+        assert!(blocks >= 1, "stripe width must be at least one block");
+        self.stripe_blocks = blocks;
+        self
+    }
+
+    /// Adds uniform jitter drawn from `seed`.
+    pub fn with_jitter(mut self, jitter: SimDuration, seed: u64) -> DiskParams {
+        self.jitter = jitter;
+        self.seed = seed;
+        self
+    }
+
+    /// The combined positioning latency a request pays before transfer.
+    pub fn positioning(&self) -> SimDuration {
+        self.seek + self.rotation
+    }
+
+    /// Builds the (idle) disk unit.
+    pub fn build(self) -> DiskModel {
+        let arms = (0..self.arms)
+            .map(|i| Arm {
+                rng: SplitMix64::new(self.seed.wrapping_add(i as u64)),
+                busy_until: SimTime::ZERO,
+                inflight: VecDeque::new(),
+                stats: DiskStats::default(),
+            })
+            .collect();
+        DiskModel { params: self, arms }
+    }
+}
+
+/// One independent arm: its own queue, jitter stream and counters.
+#[derive(Debug, Clone)]
+struct Arm {
     rng: SplitMix64,
     busy_until: SimTime,
     /// Completion times of requests not yet known to have drained
@@ -55,62 +165,161 @@ pub struct DiskModel {
     stats: DiskStats,
 }
 
+/// A disk unit of one or more arms (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    params: DiskParams,
+    arms: Vec<Arm>,
+}
+
 impl DiskModel {
-    /// A disk with fixed access latency and a 1983-plausible 1 MB/s
-    /// transfer rate.
+    /// A single-arm disk with fixed access latency and a 1983-plausible
+    /// 1 MB/s transfer rate.
     pub fn fixed(access: SimDuration) -> DiskModel {
-        DiskModel {
-            access,
-            jitter: SimDuration::ZERO,
-            per_byte: SimDuration::from_nanos(1_000),
-            rng: SplitMix64::new(0xD15C),
-            busy_until: SimTime::ZERO,
-            inflight: VecDeque::new(),
-            stats: DiskStats::default(),
-        }
+        DiskParams::fixed(access).build()
     }
 
-    /// The counters accumulated so far.
+    /// The mechanical parameters this unit was built from.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Number of independent arms.
+    pub fn arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Rebuilds this unit with `n` arms (same mechanics, idle state).
+    /// Used by the file-server spawn path to apply
+    /// `FileServerConfig::disk_arms`; with `n == 1` the result is
+    /// indistinguishable from a freshly built single-arm unit.
+    pub fn with_arms(self, n: usize) -> DiskModel {
+        self.params.arms(n).build()
+    }
+
+    /// Adds uniform jitter (single-arm builder compatibility).
+    pub fn with_jitter(self, jitter: SimDuration, seed: u64) -> DiskModel {
+        self.params.with_jitter(jitter, seed).build()
+    }
+
+    /// The counters accumulated so far, aggregated across arms.
     pub fn stats(&self) -> DiskStats {
-        self.stats
+        let mut total = DiskStats::default();
+        for arm in &self.arms {
+            total.absorb(&arm.stats);
+        }
+        total
     }
 
-    /// Adds uniform jitter.
-    pub fn with_jitter(mut self, jitter: SimDuration, seed: u64) -> DiskModel {
-        self.jitter = jitter;
-        self.rng = SplitMix64::new(seed);
-        self
+    /// Per-arm counters, in arm order.
+    pub fn per_arm_stats(&self) -> Vec<DiskStats> {
+        self.arms.iter().map(|a| a.stats).collect()
     }
 
-    /// Issues a request for `bytes` at time `now`; returns when the data
-    /// is in memory. Requests queue behind each other (one arm).
-    pub fn request(&mut self, now: SimTime, bytes: usize) -> SimTime {
-        while self.inflight.front().is_some_and(|&done| done <= now) {
-            self.inflight.pop_front();
+    /// Normalized utilization over an elapsed interval: total busy time
+    /// divided by `arms × elapsed`, so a fully driven striped unit reads
+    /// 1.0 like a fully driven single arm.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        self.stats().utilization(elapsed) / self.arms.len() as f64
+    }
+
+    /// The arm serving block `block` of file `file_key`: consecutive
+    /// stripes of a file walk the arms round-robin, and different files
+    /// start on different arms so concurrent single-block loads spread.
+    pub fn arm_for(&self, file_key: u32, block: u32) -> usize {
+        let stripe = block / self.params.stripe_blocks;
+        ((file_key as u64 + stripe as u64) % self.arms.len() as u64) as usize
+    }
+
+    /// Issues a request for `bytes` at time `now` on one arm; returns
+    /// when the data is in memory. Requests on the same arm queue behind
+    /// each other.
+    fn request_on(&mut self, arm_idx: usize, now: SimTime, bytes: usize) -> SimTime {
+        let positioning = self.params.positioning();
+        let per_byte = self.params.per_byte;
+        let jitter = self.params.jitter;
+        let arm = &mut self.arms[arm_idx];
+        while arm.inflight.front().is_some_and(|&done| done <= now) {
+            arm.inflight.pop_front();
         }
-        let depth = self.inflight.len() as u32;
-        let start = now.max(self.busy_until);
-        let mut service =
-            self.access + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64);
-        if !self.jitter.is_zero() {
-            service += SimDuration::from_nanos(self.rng.below(self.jitter.as_nanos().max(1)));
+        let depth = arm.inflight.len() as u32;
+        let start = now.max(arm.busy_until);
+        let mut service = positioning + SimDuration::from_nanos(per_byte.as_nanos() * bytes as u64);
+        if !jitter.is_zero() {
+            service += SimDuration::from_nanos(arm.rng.below(jitter.as_nanos().max(1)));
         }
-        self.busy_until = start + service;
-        self.inflight.push_back(self.busy_until);
-        self.stats.requests += 1;
+        arm.busy_until = start + service;
+        arm.inflight.push_back(arm.busy_until);
+        arm.stats.requests += 1;
         if depth > 0 {
-            self.stats.queued += 1;
+            arm.stats.queued += 1;
         }
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth + 1);
-        self.stats.busy += service;
-        self.stats.waited += start.since(now);
-        self.busy_until
+        arm.stats.max_queue_depth = arm.stats.max_queue_depth.max(depth + 1);
+        arm.stats.busy += service;
+        arm.stats.waited += start.since(now);
+        arm.busy_until
+    }
+
+    /// Issues a request for `bytes` at time `now` on the first arm;
+    /// returns when the data is in memory. The historical single-arm
+    /// entry point — callers that know the block use
+    /// [`DiskModel::request_striped`].
+    pub fn request(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        self.request_on(0, now, bytes)
+    }
+
+    /// Issues a single-block-class request routed to the arm striping
+    /// assigns `(file_key, block)`.
+    pub fn request_striped(
+        &mut self,
+        now: SimTime,
+        file_key: u32,
+        block: u32,
+        bytes: usize,
+    ) -> SimTime {
+        let arm = self.arm_for(file_key, block);
+        self.request_on(arm, now, bytes)
+    }
+
+    /// Issues a multi-block span read starting at `start_block`. On a
+    /// single-arm unit this is exactly one [`DiskModel::request`]; on a
+    /// striped unit the span's bytes are bucketed by owning arm and each
+    /// touched arm services its share as one request (one positioning
+    /// charge per arm, transfers in parallel) — the data is in memory
+    /// at the latest arm's completion, which is returned.
+    pub fn request_span(
+        &mut self,
+        now: SimTime,
+        file_key: u32,
+        start_block: u32,
+        bytes: usize,
+    ) -> SimTime {
+        if self.arms.len() == 1 {
+            return self.request_on(0, now, bytes);
+        }
+        let mut per_arm = vec![0usize; self.arms.len()];
+        let mut block = start_block;
+        let mut rem = bytes;
+        while rem > 0 {
+            let take = rem.min(BLOCK_SIZE);
+            per_arm[self.arm_for(file_key, block)] += take;
+            rem -= take;
+            block += 1;
+        }
+        let mut done = now;
+        for (arm_idx, share) in per_arm.into_iter().enumerate() {
+            if share > 0 {
+                done = done.max(self.request_on(arm_idx, now, share));
+            }
+        }
+        done
     }
 
     /// The service time the *next* request would take (no queueing),
     /// useful for read-ahead planning.
     pub fn service_estimate(&self, bytes: usize) -> SimDuration {
-        self.access + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64)
+        self.params.positioning()
+            + SimDuration::from_nanos(self.params.per_byte.as_nanos() * bytes as u64)
     }
 }
 
@@ -180,5 +389,118 @@ mod tests {
         // Utilization: 40 ms busy over a 110 ms horizon.
         let u = s.utilization(SimDuration::from_millis(110));
         assert!((u - 40.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seek_and_rotation_components_sum() {
+        // split(10, 5) must behave exactly like the historical fixed(15).
+        let mut split =
+            DiskParams::split(SimDuration::from_millis(10), SimDuration::from_millis(5)).build();
+        let mut fixed = DiskModel::fixed(SimDuration::from_millis(15));
+        for (t, bytes) in [(0u64, 512usize), (3, 0), (40, 4096)] {
+            let now = SimTime::from_millis(t);
+            assert_eq!(split.request(now, bytes), fixed.request(now, bytes));
+        }
+        assert_eq!(split.stats(), fixed.stats());
+        assert_eq!(split.service_estimate(512), fixed.service_estimate(512));
+    }
+
+    #[test]
+    fn striped_arms_overlap_independent_blocks() {
+        // Four simultaneous one-block reads of four consecutive blocks
+        // on a 4-arm unit: every request lands on its own arm and they
+        // all complete in one access time, where a single arm would have
+        // serialized them.
+        let mut d = DiskParams::fixed(SimDuration::from_millis(10))
+            .arms(4)
+            .build();
+        for block in 0..4 {
+            let done = d.request_striped(SimTime::ZERO, 0, block, 0);
+            assert_eq!(done, SimTime::from_millis(10), "block {block}");
+        }
+        let s = d.stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.queued, 0, "no request waited behind another");
+        assert_eq!(s.max_queue_depth, 1);
+        for arm in d.per_arm_stats() {
+            assert_eq!(arm.requests, 1);
+        }
+        // Normalized utilization over the 10 ms horizon: all arms busy.
+        assert!((d.utilization(SimDuration::from_millis(10)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stripe_width_groups_consecutive_blocks() {
+        let d = DiskParams::fixed(SimDuration::from_millis(10))
+            .arms(2)
+            .stripe(4)
+            .build();
+        // Blocks 0..3 on one arm, 4..7 on the other, 8..11 wrap back.
+        assert_eq!(d.arm_for(0, 0), d.arm_for(0, 3));
+        assert_ne!(d.arm_for(0, 3), d.arm_for(0, 4));
+        assert_eq!(d.arm_for(0, 0), d.arm_for(0, 8));
+        // Different files start on different arms.
+        assert_ne!(d.arm_for(0, 0), d.arm_for(1, 0));
+    }
+
+    #[test]
+    fn span_splits_across_arms() {
+        // An 8-block span on 2 arms: each arm seeks once and transfers
+        // half the bytes in parallel.
+        let mut two = DiskParams::fixed(SimDuration::from_millis(10))
+            .arms(2)
+            .build();
+        let done = two.request_span(SimTime::ZERO, 0, 0, 8 * BLOCK_SIZE);
+        assert_eq!(done, SimTime::from_micros(10_000 + 4 * 512));
+        let s = two.stats();
+        assert_eq!(s.requests, 2, "one request per touched arm");
+        // The same span on one arm is a single full-size request —
+        // bit-identical to the historical model.
+        let mut one = DiskModel::fixed(SimDuration::from_millis(10));
+        let done1 = one.request_span(SimTime::ZERO, 0, 0, 8 * BLOCK_SIZE);
+        assert_eq!(done1, one_arm_reference());
+        assert_eq!(one.stats().requests, 1);
+    }
+
+    fn one_arm_reference() -> SimTime {
+        let mut d = DiskModel::fixed(SimDuration::from_millis(10));
+        d.request(SimTime::ZERO, 8 * BLOCK_SIZE)
+    }
+
+    #[test]
+    fn absorb_aggregates_counters() {
+        let mut a = DiskStats {
+            requests: 3,
+            queued: 1,
+            busy: SimDuration::from_millis(30),
+            waited: SimDuration::from_millis(5),
+            max_queue_depth: 2,
+        };
+        let b = DiskStats {
+            requests: 2,
+            queued: 2,
+            busy: SimDuration::from_millis(20),
+            waited: SimDuration::from_millis(15),
+            max_queue_depth: 5,
+        };
+        a.absorb(&b);
+        assert_eq!(a.requests, 5);
+        assert_eq!(a.queued, 3);
+        assert_eq!(a.busy, SimDuration::from_millis(50));
+        assert_eq!(a.waited, SimDuration::from_millis(20));
+        assert_eq!(a.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn with_arms_reshapes_and_one_is_identity() {
+        let base = DiskModel::fixed(SimDuration::from_millis(15));
+        let mut reshaped = base.clone().with_arms(1);
+        let mut orig = base;
+        assert_eq!(
+            reshaped.request(SimTime::ZERO, 512),
+            orig.request(SimTime::ZERO, 512)
+        );
+        let four = DiskModel::fixed(SimDuration::from_millis(15)).with_arms(4);
+        assert_eq!(four.arms(), 4);
     }
 }

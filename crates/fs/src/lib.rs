@@ -6,8 +6,11 @@
 //! that arrangement, built — as the paper insists — *on top of* the
 //! general-purpose V IPC rather than a specialized protocol:
 //!
-//! * [`disk`] — a simple disk model (per-request latency + transfer
-//!   time) standing in for the file server's spindles;
+//! * [`disk`] — the disk model (per-request positioning latency +
+//!   transfer time) standing in for the file server's spindles; a
+//!   [`DiskParams`]-built unit stripes blocks over several independent
+//!   arms ([`FileServerConfig::disk_arms`]) so concurrent requests
+//!   overlap their seeks;
 //! * [`store`] — an in-memory block store with a flat directory
 //!   (create/lookup/read/write), the server's cache+filesystem state;
 //! * [`proto`] — the Verex-style I/O protocol: file requests and replies
@@ -48,7 +51,7 @@ pub mod shard;
 pub mod store;
 pub mod team;
 
-pub use disk::{DiskModel, DiskStats};
+pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use proto::{IoReply, IoRequest, IoStatus};
 pub use replica::{spawn_replica, spawn_replica_group, ReplicaReport, ReplicatedFsClient};
 pub use server::{FileServer, FileServerConfig, FileServerStats};

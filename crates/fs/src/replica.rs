@@ -67,7 +67,9 @@ pub fn spawn_replica_group(
 /// Spawns a single read-only replica of `store` on `host` — the unit
 /// [`spawn_replica_group`] is built from, also used to re-create a
 /// replica on a restarted host (the kernel forgets everything on a
-/// crash; re-registration is the service's job).
+/// crash; re-registration is the service's job). Everything in `cfg`
+/// except `read_only` passes through, so replicas can run worker teams
+/// (`workers`) over striped disks (`disk_arms`) like any other server.
 pub fn spawn_replica(
     cl: &mut Cluster,
     host: HostId,

@@ -42,6 +42,14 @@ pub const SRV_OUT: u32 = 0x10000;
 pub struct FileServerConfig {
     /// The disk behind the store.
     pub disk: DiskModel,
+    /// Independent disk arms blocks are striped over. `1` (the default)
+    /// keeps `disk` exactly as given — bit-identical to the historical
+    /// single-arm server. `>= 2` reshapes `disk` into a striped
+    /// multi-arm unit at spawn time (see [`DiskModel::with_arms`]), so
+    /// a worker team's concurrent requests overlap their seeks instead
+    /// of queueing behind one arm. Threaded unchanged through the team,
+    /// shard and replica builders, which all take this config.
+    pub disk_arms: usize,
     /// File-system processing charged per request (the paper estimates
     /// 2.5 ms at 10 MHz for a local system, 3.5 ms from LOCUS for
     /// capacity planning).
@@ -70,12 +78,27 @@ impl Default for FileServerConfig {
     fn default() -> Self {
         FileServerConfig {
             disk: DiskModel::fixed(SimDuration::from_millis(15)),
+            disk_arms: 1,
             fs_cpu: SimDuration::from_micros(2500),
             transfer_unit: 4096,
             read_ahead: true,
             register: Some(naming::logical::FILE_SERVER),
             workers: 1,
             read_only: false,
+        }
+    }
+}
+
+impl FileServerConfig {
+    /// The disk unit a spawn actually installs: `disk` as given for
+    /// `disk_arms <= 1` (a pre-striped [`crate::DiskParams`] build
+    /// passes through untouched), reshaped to `disk_arms` striped arms
+    /// otherwise.
+    pub(crate) fn build_disk(&self) -> DiskModel {
+        if self.disk_arms > 1 {
+            self.disk.clone().with_arms(self.disk_arms)
+        } else {
+            self.disk.clone()
         }
     }
 }
@@ -101,15 +124,18 @@ pub struct FileServerStats {
     /// Deepest backlog the receptionist parked while every worker was
     /// busy.
     pub parked_peak: u64,
-    /// The shared disk's queueing counters, refreshed on every disk
-    /// request so experiments can report utilization and queue depth
-    /// instead of inferring them.
+    /// The shared disk's queueing counters — aggregated across every
+    /// arm of a striped unit ([`DiskStats::absorb`]) — refreshed on
+    /// every disk request so experiments can report utilization and
+    /// queue depth instead of inferring them. Per-arm breakdowns come
+    /// from the disk handle itself ([`DiskModel::per_arm_stats`]).
     pub disk: DiskStats,
 }
 
-/// State one server team shares: the block store, the single disk arm,
-/// the stats block and the read-ahead slot. The sequential server owns
-/// a private copy of the same structure, so its code path is identical.
+/// State one server team shares: the block store, the disk unit (one
+/// arm or a striped set), the stats block and the read-ahead slot. The
+/// sequential server owns a private copy of the same structure, so its
+/// code path is identical.
 #[derive(Clone)]
 pub(crate) struct SharedServerState {
     pub(crate) store: Rc<RefCell<BlockStore>>,
@@ -160,7 +186,7 @@ impl FileServer {
     /// Creates a standalone (sequential) file server over a
     /// pre-populated store.
     pub fn new(cfg: FileServerConfig, store: BlockStore) -> FileServer {
-        let shared = SharedServerState::new(cfg.disk.clone(), store);
+        let shared = SharedServerState::new(cfg.build_disk(), store);
         FileServer::with_shared(cfg, shared, None)
     }
 
@@ -185,9 +211,27 @@ impl FileServer {
         self.shared.stats.clone()
     }
 
-    /// Issues a disk request and refreshes the surfaced disk counters.
-    fn disk_request(&mut self, now: SimTime, bytes: usize) -> SimTime {
-        let done = self.shared.disk.borrow_mut().request(now, bytes);
+    /// Issues a single-block-class disk request, routed to the arm the
+    /// striping assigns `(file, block)`, and refreshes the surfaced
+    /// (aggregate) disk counters.
+    fn disk_request(&mut self, now: SimTime, file: FileId, block: u32, bytes: usize) -> SimTime {
+        let done = self
+            .shared
+            .disk
+            .borrow_mut()
+            .request_striped(now, file.0 as u32, block, bytes);
+        self.shared.stats.borrow_mut().disk = self.shared.disk.borrow().stats();
+        done
+    }
+
+    /// Issues a multi-block span request (large reads): on a striped
+    /// unit each touched arm transfers its stripes in parallel.
+    fn disk_span(&mut self, now: SimTime, file: FileId, block: u32, bytes: usize) -> SimTime {
+        let done = self
+            .shared
+            .disk
+            .borrow_mut()
+            .request_span(now, file.0 as u32, block, bytes);
         self.shared.stats.borrow_mut().disk = self.shared.disk.borrow().stats();
         done
     }
@@ -292,7 +336,12 @@ impl FileServer {
                         return;
                     }
                 }
-                let done = self.disk_request(api.now(), req.count.min(BLOCK_SIZE as u32) as usize);
+                let done = self.disk_request(
+                    api.now(),
+                    req.file,
+                    req.block,
+                    req.count.min(BLOCK_SIZE as u32) as usize,
+                );
                 self.phase = Phase::DiskWait;
                 api.delay(done.since(api.now()));
             }
@@ -310,13 +359,13 @@ impl FileServer {
                         count - seg_len,
                     );
                 } else {
-                    let done = self.disk_request(api.now(), count as usize);
+                    let done = self.disk_request(api.now(), req.file, req.block, count as usize);
                     self.phase = Phase::DiskWait;
                     api.delay(done.since(api.now()));
                 }
             }
             IoOp::ReadLarge => {
-                let done = self.disk_request(api.now(), req.count as usize);
+                let done = self.disk_span(api.now(), req.file, req.block, req.count as usize);
                 self.phase = Phase::DiskWait;
                 api.delay(done.since(api.now()));
             }
@@ -358,7 +407,7 @@ impl FileServer {
                 if self.cfg.read_ahead {
                     let next = req.block + 1;
                     if self.shared.store.borrow().has_block(req.file, next) {
-                        let ready = self.disk_request(api.now(), BLOCK_SIZE);
+                        let ready = self.disk_request(api.now(), req.file, next, BLOCK_SIZE);
                         *self.shared.prefetch.borrow_mut() = Some((req.file, next, ready));
                     }
                 }
@@ -477,7 +526,11 @@ impl Program for FileServer {
                         let (from, buffer) = (cur.from, cur.req.buffer);
                         api.move_from(from, SRV_IN + have, buffer + have, count - have);
                     } else {
-                        let done = self.disk_request(api.now(), count as usize);
+                        let (file, block) = {
+                            let cur = self.current.as_ref().expect("in progress");
+                            (cur.req.file, cur.req.block)
+                        };
+                        let done = self.disk_request(api.now(), file, block, count as usize);
                         self.phase = Phase::DiskWait;
                         api.delay(done.since(api.now()));
                     }

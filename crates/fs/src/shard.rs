@@ -99,7 +99,8 @@ impl ShardMap {
 /// broadcast) and serving `store`. `cfg.workers` picks the shape: `1`
 /// is the sequential server, `>= 2` a pipelined receptionist/worker
 /// team ([`crate::team::spawn_file_server`]); clients address the
-/// returned pid either way.
+/// returned pid either way. `cfg.disk_arms` passes through too, so a
+/// sharded deployment can give every shard a striped multi-arm disk.
 pub fn spawn_shard_server(
     cl: &mut Cluster,
     host: HostId,

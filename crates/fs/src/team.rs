@@ -27,10 +27,12 @@
 //!   worker mode: serve, reply to the client, then `Send` a one-message
 //!   idle notification to the receptionist (the classic V idiom for
 //!   "give me more work");
-//! * the [`BlockStore`], the [`DiskModel`] (one arm — requests queue)
-//!   and the [`FileServerStats`] are shared across the team, so one
-//!   request's disk wait overlaps the next request's receive and
-//!   file-system CPU.
+//! * the [`BlockStore`], the [`DiskModel`] and the [`FileServerStats`]
+//!   are shared across the team, so one request's disk wait overlaps
+//!   the next request's receive and file-system CPU. With a single arm
+//!   concurrent disk requests still queue behind each other; a striped
+//!   multi-arm unit ([`FileServerConfig::disk_arms`]` >= 2`) lets the
+//!   workers overlap the seeks themselves.
 //!
 //! [`FileServerConfig::workers`]` == 1` bypasses the team entirely and
 //! spawns the sequential server, bit-identical to the pre-team code.
@@ -55,8 +57,9 @@ pub struct FileServerTeam {
     pub workers: Vec<Pid>,
     /// The team's shared counters.
     pub stats: Rc<RefCell<FileServerStats>>,
-    /// The team's shared disk (queue-depth / busy-time stats live here
-    /// and are mirrored into [`FileServerStats::disk`]).
+    /// The team's shared disk unit (per-arm queue-depth / busy-time
+    /// stats live here; the aggregate is mirrored into
+    /// [`FileServerStats::disk`]).
     pub disk: Rc<RefCell<DiskModel>>,
 }
 
@@ -144,14 +147,17 @@ impl Program for Receptionist {
 /// Spawns a file service on `host`: the sequential server for
 /// `cfg.workers <= 1` (bit-identical to the pre-team implementation),
 /// or a receptionist plus `cfg.workers` worker processes sharing
-/// `store`, one disk arm and one stats block.
+/// `store`, one disk unit and one stats block. The disk unit honours
+/// [`FileServerConfig::disk_arms`]: with `>= 2` arms the team's
+/// concurrent requests stripe across arms instead of queueing behind
+/// one.
 pub fn spawn_file_server(
     cl: &mut Cluster,
     host: HostId,
     cfg: FileServerConfig,
     store: BlockStore,
 ) -> FileServerTeam {
-    let shared = SharedServerState::new(cfg.disk.clone(), store);
+    let shared = SharedServerState::new(cfg.build_disk(), store);
     let stats = shared.stats.clone();
     let disk = shared.disk.clone();
     if cfg.workers <= 1 {
