@@ -7,6 +7,7 @@
 //! format and the CI deviation gate.
 
 mod ablations;
+mod cachemix;
 mod datapath;
 mod engine;
 mod failover;
@@ -25,6 +26,7 @@ mod wan;
 pub use ablations::{
     ip_encapsulation, netserver_relay, protocol_ablations, streaming_comparison, wfs_comparison,
 };
+pub use cachemix::{cachemix, cachemix_with_rounds};
 pub use datapath::{datapath, datapath_with_rounds};
 pub use engine::{engine_throughput, engine_with_sizes};
 pub use failover::{failover, failover_with_rounds};

@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|datapath|ablate|engine]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|datapath|cachemix|ablate|engine]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -15,8 +15,9 @@
 //! from the paper exceeds `PCT` percent — the CI regression gate.
 //!
 //! `--smoke` runs Table 4-1, the WAN table, the shard-placement table,
-//! the replica-failover table, the server-team pipelining table and a
-//! small boot-storm engine-throughput run with tiny round counts: a
+//! the replica-failover table, the server-team pipelining table, a
+//! small boot-storm engine-throughput run and the cache-mix table with
+//! tiny round counts: a
 //! cheap end-to-end exercise of the experiment pipeline for CI, not a
 //! measurement. It cannot be combined with experiment ids, but accepts
 //! `--json` / `--check`.
@@ -47,6 +48,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "failover" => exp::failover(),
         "pipeline" => exp::pipeline_contention(),
         "datapath" => exp::datapath(),
+        "cachemix" => exp::cachemix(),
         "ablate" => exp::protocol_ablations(),
         "engine" => exp::engine_throughput(),
         other => {
@@ -56,7 +58,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "4-1",
     "5-1",
     "5-2",
@@ -75,6 +77,7 @@ const ALL: [&str; 20] = [
     "failover",
     "pipeline",
     "datapath",
+    "cachemix",
     "ablate",
     "engine",
 ];
@@ -183,13 +186,15 @@ fn main() {
         ok &= process(&d, "datapath", &opts);
         let e = exp::engine_with_sizes(&[48]);
         ok &= process(&e, "engine", &opts);
+        let cm = exp::cachemix_with_rounds(40);
+        ok &= process(&cm, "cachemix", &opts);
         if !ok {
             std::process::exit(2);
         }
         println!(
             "smoke OK: Table 4-1, WAN, shard, failover, server-team pipelines, the \
-             data-path table and the boot-storm engine gate ran end to end (tiny rounds, \
-             not a measurement)"
+             data-path table, the boot-storm engine gate and the cache-mix table ran \
+             end to end (tiny rounds, not a measurement)"
         );
         return;
     }

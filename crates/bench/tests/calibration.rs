@@ -174,6 +174,68 @@ fn wan_topologies_show_hop_latency_and_loss_recovery() {
             > metric_of(&c, "exchange over clean T1 WAN (30 ms one way)"),
         "loss must cost retransmission timeouts"
     );
+    // Frame coalescing is opt-in: with the flag off, the mesh must
+    // reproduce the plain internetwork's bulk numbers to the bit.
+    let perturbation = metric_of(&c, "coalescing-off perturbation");
+    assert_eq!(
+        perturbation, 0.0,
+        "the coalescing-capable gateway perturbed the baseline by {perturbation} ms"
+    );
+    // With the flag on, queued same-egress chunks must share forwarding
+    // charges — visibly (counter) and profitably (elapsed).
+    assert!(metric_of(&c, "frames coalesced, off") == 0.0);
+    assert!(metric_of(&c, "frames coalesced, on") > 0.0);
+    let speedup = metric_of(&c, "coalescing speedup");
+    assert!(
+        speedup > 1.0,
+        "coalescing must shorten the bulk transfer: {speedup:.3}x"
+    );
+}
+
+#[test]
+fn cachemix_hits_locally_pays_consistency_and_keeps_off_bit_identical() {
+    let c = exp::cachemix_with_rounds(256);
+    // Off IS the pre-cache client — not close to it. Exact equality.
+    let perturbation = metric_of(&c, "cache-off perturbation");
+    assert_eq!(
+        perturbation, 0.0,
+        "CacheMode::Off perturbed the pre-cache client by {perturbation} ms"
+    );
+    // The acceptance bar: a read-mostly working set that fits must hit
+    // >= 90% and cut per-read latency by >= 2x against the uncached
+    // client.
+    let hit_rate = metric_of(&c, "ws=8 in 64-block cache: hit rate");
+    assert!(
+        hit_rate >= 90.0,
+        "hit rate {hit_rate:.1}% below the 90% bar"
+    );
+    let speedup = metric_of(&c, "ws=8 in 64-block cache: speedup over uncached");
+    assert!(speedup >= 2.0, "speedup {speedup:.2}x below the 2x bar");
+    // A working set the cache cannot hold must not hit.
+    assert!(metric_of(&c, "ws=128 in 16-block cache: hit rate") < 10.0);
+    // Sharing keeps the reader honest: even against a heavy writer the
+    // caching reader must still land hits under both schemes, and the
+    // consistency machinery must actually run.
+    assert!(metric_of(&c, "shared 1:8: reader hit rate, write-invalidate") > 50.0);
+    assert!(metric_of(&c, "shared 1:8: reader hit rate, leases") > 50.0);
+    assert!(metric_of(&c, "shared 1:8: consistency actions, write-invalidate") > 0.0);
+    // Invalidation storms price the schemes apart: write-invalidate
+    // pays one callback per warm holder (so the write slows with N),
+    // leases pay one bounded expiry wait however many holders exist.
+    let wi4 = metric_of(&c, "storm write vs 4 warm readers, write-invalidate");
+    let wi16 = metric_of(&c, "storm write vs 16 warm readers, write-invalidate");
+    assert!(
+        wi16 > wi4,
+        "write-invalidate storm must scale with holders: {wi4:.2} vs {wi16:.2} ms"
+    );
+    assert!(metric_of(&c, "storm invalidations delivered (N=16)") == 16.0);
+    assert!(metric_of(&c, "storm lease waits (N=16)") == 1.0);
+    let l4 = metric_of(&c, "storm write vs 4 warm readers, leases");
+    let l16 = metric_of(&c, "storm write vs 16 warm readers, leases");
+    assert!(
+        (l16 - l4).abs() < 0.2 * l16,
+        "lease storm must be ~independent of N: {l4:.0} vs {l16:.0} ms"
+    );
 }
 
 #[test]

@@ -66,16 +66,50 @@ pub mod stub {
         m
     }
 
+    /// Cached read: like [`read`] but announces the client's cache
+    /// agent (`agent` = its pid) so the server registers the holder
+    /// and answers with a cacheability grant.
+    pub fn read_cached(
+        file: FileId,
+        block: u32,
+        count: u32,
+        buffer: u32,
+        agent: u32,
+        tag: u16,
+    ) -> Message {
+        let mut m = IoRequest {
+            op: IoOp::ReadCached,
+            file,
+            block,
+            count,
+            buffer,
+            aux: agent,
+            tag,
+        }
+        .encode();
+        m.set_segment(buffer, count, Access::Write);
+        m
+    }
+
     /// Write one block from the buffer at `buffer` (read access granted;
     /// the kernel appends the first part to the request packet).
-    pub fn write(file: FileId, block: u32, count: u32, buffer: u32, tag: u16) -> Message {
+    /// `agent` names the writer's own cache agent (0 for uncached
+    /// writers) so the server skips it during invalidation.
+    pub fn write(
+        file: FileId,
+        block: u32,
+        count: u32,
+        buffer: u32,
+        agent: u32,
+        tag: u16,
+    ) -> Message {
         let mut m = IoRequest {
             op: IoOp::Write,
             file,
             block,
             count,
             buffer,
-            aux: 0,
+            aux: agent,
             tag,
         }
         .encode();
@@ -141,6 +175,15 @@ pub enum FsCall {
         /// Fill byte.
         fill: u8,
     },
+    /// Read `count` bytes of `block` without checking the contents —
+    /// used by consistency tests that race readers against writers,
+    /// where either the old or the new fill is a legal answer.
+    ReadAny {
+        /// Block index.
+        block: u32,
+        /// Byte count.
+        count: u32,
+    },
     /// Query the file length and check it.
     QueryExpect(u32),
     /// Large read into the buffer plus a fill check.
@@ -178,8 +221,19 @@ pub(crate) const DATA_BUF: u32 = 0x20000;
 /// staging the name/data buffers in the calling process's space.
 /// `file` is the client's current file id (ignored by open/create).
 /// Shared by [`FsClient`] and [`crate::shard::ShardedFsClient`], which
-/// differ only in how they pick `server`.
-pub(crate) fn issue_call(api: &mut Api<'_>, call: &FsCall, file: FileId, tag: u16, server: Pid) {
+/// differ only in how they pick `server`. `cache_agent` is the
+/// client's cache-agent pid when it caches: reads then go out as
+/// `ReadCached` and writes carry the agent so the server skips it
+/// during invalidation. `None` builds byte-for-byte the messages the
+/// pre-cache client sent.
+pub(crate) fn issue_call(
+    api: &mut Api<'_>,
+    call: &FsCall,
+    file: FileId,
+    tag: u16,
+    server: Pid,
+    cache_agent: Option<u32>,
+) {
     match call {
         FsCall::Open(name) => {
             api.mem_write(NAME_BUF, name.as_bytes()).expect("name fits");
@@ -192,14 +246,28 @@ pub(crate) fn issue_call(api: &mut Api<'_>, call: &FsCall, file: FileId, tag: u1
                 server,
             );
         }
-        FsCall::ReadExpect { block, count, .. } => {
+        FsCall::ReadExpect { block, count, .. } | FsCall::ReadAny { block, count } => {
             api.mem_fill(DATA_BUF, *count as usize, 0x00).expect("fits");
-            api.send(stub::read(file, *block, *count, DATA_BUF, tag), server);
+            let m = match cache_agent {
+                Some(agent) => stub::read_cached(file, *block, *count, DATA_BUF, agent, tag),
+                None => stub::read(file, *block, *count, DATA_BUF, tag),
+            };
+            api.send(m, server);
         }
         FsCall::WriteFill { block, count, fill } => {
             api.mem_fill(DATA_BUF, *count as usize, *fill)
                 .expect("fits");
-            api.send(stub::write(file, *block, *count, DATA_BUF, tag), server);
+            api.send(
+                stub::write(
+                    file,
+                    *block,
+                    *count,
+                    DATA_BUF,
+                    cache_agent.unwrap_or(0),
+                    tag,
+                ),
+                server,
+            );
         }
         FsCall::QueryExpect(_) => api.send(stub::query(file, tag), server),
         FsCall::ReadLargeExpect { block, count, .. } => {
@@ -245,12 +313,14 @@ pub(crate) fn check_reply(
                 rep.integrity_errors += 1;
             }
         }
+        FsCall::ReadAny { .. } => {}
     }
     rep.completed += 1;
     opened
 }
 
-/// A scripted file-service client.
+/// A scripted file-service client, optionally carrying a block cache
+/// (see [`crate::cache`]).
 pub struct FsClient {
     /// The file server.
     pub server: Pid,
@@ -261,6 +331,8 @@ pub struct FsClient {
     step: usize,
     file: FileId,
     started: Option<v_sim::SimTime>,
+    cache: Option<crate::cache::CacheLayer>,
+    pending_hit: Option<Vec<u8>>,
 }
 
 impl FsClient {
@@ -277,7 +349,15 @@ impl FsClient {
             step: 0,
             file: FileId(0),
             started: None,
+            cache: None,
+            pending_hit: None,
         }
+    }
+
+    /// Attaches a block cache to the read path.
+    pub fn with_cache(mut self, layer: crate::cache::CacheLayer) -> FsClient {
+        self.cache = Some(layer);
+        self
     }
 
     fn issue(&mut self, api: &mut Api<'_>) {
@@ -290,7 +370,24 @@ impl FsClient {
             api.exit();
             return;
         };
-        issue_call(api, &call, self.file, self.step as u16, self.server);
+        let mut cache_agent = None;
+        if let Some(layer) = self.cache.as_mut() {
+            if let Some(data) = layer.try_hit(&call, self.file, api.now()) {
+                self.pending_hit = Some(data);
+                api.compute(layer.hit_cpu());
+                return;
+            }
+            layer.on_issue(&call, self.file);
+            cache_agent = Some(layer.agent_aux());
+        }
+        issue_call(
+            api,
+            &call,
+            self.file,
+            self.step as u16,
+            self.server,
+            cache_agent,
+        );
     }
 
     fn check(&mut self, api: &mut Api<'_>, reply: IoReply) {
@@ -299,6 +396,28 @@ impl FsClient {
         if let Some(opened) = check_reply(api, &call, &reply, &mut rep) {
             self.file = opened;
         }
+        drop(rep);
+        if let Some(layer) = self.cache.as_mut() {
+            layer.install_reply(api, &call, self.file, &reply, api.now());
+        }
+    }
+
+    /// Completes a cache hit: deposits the cached bytes where the
+    /// remote path would have and synthesizes an `Ok` reply (with a
+    /// [`crate::proto::CACHE_DENY`] grant so it is not re-installed),
+    /// so the shared check path treats hits and misses alike.
+    fn finish_hit(&mut self, api: &mut Api<'_>, data: Vec<u8>) {
+        api.mem_write(DATA_BUF, &data).expect("fits");
+        let reply = IoReply {
+            status: IoStatus::Ok,
+            file: self.file,
+            value: data.len() as u32,
+            aux: crate::proto::CACHE_DENY,
+            tag: self.step as u16,
+        };
+        self.check(api, reply);
+        self.step += 1;
+        self.issue(api);
     }
 }
 
@@ -315,6 +434,10 @@ impl Program for FsClient {
             Outcome::Send(Err(_)) => {
                 self.report.borrow_mut().errors += 1;
                 api.exit();
+            }
+            Outcome::Compute if self.pending_hit.is_some() => {
+                let data = self.pending_hit.take().expect("hit in flight");
+                self.finish_hit(api, data);
             }
             _ => api.exit(),
         }

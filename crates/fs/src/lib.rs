@@ -39,8 +39,14 @@
 //! * [`replica`] — a replicated *read-only* root: N identical replicas
 //!   spawned from clones of one [`BlockStore`] (so file ids agree
 //!   everywhere), and a [`ReplicatedFsClient`] that fails over to the
-//!   next replica when the kernel reports a replica's host down.
+//!   next replica when the kernel reports a replica's host down;
+//! * [`cache`] — per-client block caching ([`BlockCache`] + the
+//!   invalidation [`CacheAgent`](cache::CacheAgent)) with a
+//!   write-invalidate or lease consistency protocol driven by the
+//!   server ([`CacheMode`]); `Off` is bit-identical to the pre-cache
+//!   client.
 
+pub mod cache;
 pub mod client;
 pub mod disk;
 pub mod loader;
@@ -51,10 +57,11 @@ pub mod shard;
 pub mod store;
 pub mod team;
 
+pub use cache::{spawn_caching_client, BlockCache, CacheConfig, CacheMode, CacheStats};
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use proto::{IoReply, IoRequest, IoStatus};
 pub use replica::{spawn_replica, spawn_replica_group, ReplicaReport, ReplicatedFsClient};
-pub use server::{FileServer, FileServerConfig, FileServerStats};
+pub use server::{FileHeat, FileServer, FileServerConfig, FileServerStats};
 pub use shard::{spawn_shard_server, ShardMap, ShardedFsClient};
 pub use store::BlockStore;
 pub use team::{spawn_file_server, FileServerTeam};

@@ -43,6 +43,16 @@ pub enum IoOp {
     Query = 5,
     /// Large read: the server pushes the range with `MoveTo`s.
     ReadLarge = 6,
+    /// Read one block through the client cache: served like [`Read`]
+    /// but registers the client's cache agent (request `aux` = agent
+    /// pid) as a holder of the file. The reply's `aux` carries the
+    /// cacheability grant (see [`IoReply::aux`]).
+    ///
+    /// [`Read`]: IoOp::Read
+    ReadCached = 7,
+    /// Server → cache-agent invalidation callback: drop every cached
+    /// block of `file`. Answered with a plain `Ok` reply.
+    Invalidate = 8,
 }
 
 impl IoOp {
@@ -55,6 +65,8 @@ impl IoOp {
             4 => IoOp::Write,
             5 => IoOp::Query,
             6 => IoOp::ReadLarge,
+            7 => IoOp::ReadCached,
+            8 => IoOp::Invalidate,
             _ => return None,
         })
     }
@@ -141,6 +153,15 @@ impl IoRequest {
     }
 }
 
+/// Reply `aux` grant on a [`IoOp::ReadCached`]: the client must not
+/// cache the block (a write is pending on the file, or the server runs
+/// with caching off).
+pub const CACHE_DENY: u32 = 0;
+/// Reply `aux` grant on a [`IoOp::ReadCached`]: cache the block until
+/// an [`IoOp::Invalidate`] callback arrives (write-invalidate mode).
+/// Any other nonzero value is a lease duration in microseconds.
+pub const CACHE_UNTIL_INVALIDATED: u32 = u32::MAX;
+
 /// A decoded I/O reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoReply {
@@ -150,6 +171,10 @@ pub struct IoReply {
     pub file: FileId,
     /// Operation-dependent value (bytes read/written, file length).
     pub value: u32,
+    /// Cacheability grant on `ReadCached` replies: [`CACHE_DENY`],
+    /// [`CACHE_UNTIL_INVALIDATED`], or a lease in microseconds. Zero on
+    /// every other reply (bytes 8–11 are free in the reply layout).
+    pub aux: u32,
     /// Echo of the request tag.
     pub tag: u16,
 }
@@ -161,6 +186,7 @@ impl IoReply {
         m.set_byte(1, self.status as u8);
         m.set_u16(2, self.file.0);
         m.set_u32(4, self.value);
+        m.set_u32(8, self.aux);
         m.set_u16(20, self.tag);
         m
     }
@@ -171,6 +197,7 @@ impl IoReply {
             status: IoStatus::from_u8(m.byte(1)),
             file: FileId(m.get_u16(2)),
             value: m.get_u32(4),
+            aux: m.get_u32(8),
             tag: m.get_u16(20),
         }
     }
@@ -200,6 +227,7 @@ mod tests {
             status: IoStatus::BadBlock,
             file: FileId(3),
             value: 65536,
+            aux: 1_000_000,
             tag: 17,
         };
         assert_eq!(IoReply::decode(&r.encode()), r);
@@ -239,6 +267,8 @@ mod tests {
             IoOp::Write,
             IoOp::Query,
             IoOp::ReadLarge,
+            IoOp::ReadCached,
+            IoOp::Invalidate,
         ] {
             assert_eq!(IoOp::from_u8(op as u8), Some(op));
         }

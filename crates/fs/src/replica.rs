@@ -123,6 +123,8 @@ pub struct ReplicatedFsClient {
     started: Option<SimTime>,
     issued_at: SimTime,
     consecutive_failures: usize,
+    cache: Option<crate::cache::CacheLayer>,
+    pending_hit: Option<Vec<u8>>,
 }
 
 impl ReplicatedFsClient {
@@ -143,7 +145,17 @@ impl ReplicatedFsClient {
             started: None,
             issued_at: SimTime::ZERO,
             consecutive_failures: 0,
+            cache: None,
+            pending_hit: None,
         }
+    }
+
+    /// Attaches a block cache to the read path. Replica stores are
+    /// clones, so file ids (the cache key) agree across replicas — a
+    /// cache warmed against one replica stays valid after failover.
+    pub fn with_cache(mut self, layer: crate::cache::CacheLayer) -> ReplicatedFsClient {
+        self.cache = Some(layer);
+        self
     }
 
     /// Issues the current step. `fresh` is false on a failover retry:
@@ -163,12 +175,25 @@ impl ReplicatedFsClient {
         if fresh {
             self.issued_at = api.now();
         }
+        let mut cache_agent = None;
+        if let Some(layer) = self.cache.as_mut() {
+            if let Some(data) = layer.try_hit(&call, self.file, api.now()) {
+                // A hit never touches the wire: no failover, no
+                // detection budget — served even while replicas die.
+                self.pending_hit = Some(data);
+                api.compute(layer.hit_cpu());
+                return;
+            }
+            layer.on_issue(&call, self.file);
+            cache_agent = Some(layer.agent_aux());
+        }
         issue_call(
             api,
             &call,
             self.file,
             self.step as u16,
             self.replicas[self.current],
+            cache_agent,
         );
     }
 
@@ -180,6 +205,27 @@ impl ReplicatedFsClient {
         if let Some(opened) = check_reply(api, &call, &reply, &mut rep.fs) {
             self.file = opened;
         }
+        drop(rep);
+        if let Some(layer) = self.cache.as_mut() {
+            layer.install_reply(api, &call, self.file, &reply, api.now());
+        }
+    }
+
+    /// Completes a cache hit through the shared check path (the hit's
+    /// latency — the per-hit CPU charge — lands in `op_ms` like any
+    /// other op).
+    fn finish_hit(&mut self, api: &mut Api<'_>, data: Vec<u8>) {
+        api.mem_write(crate::client::DATA_BUF, &data).expect("fits");
+        let reply = IoReply {
+            status: crate::proto::IoStatus::Ok,
+            file: self.file,
+            value: data.len() as u32,
+            aux: crate::proto::CACHE_DENY,
+            tag: self.step as u16,
+        };
+        self.check(api, reply);
+        self.step += 1;
+        self.issue(api, true);
     }
 }
 
@@ -211,6 +257,11 @@ impl Program for ReplicatedFsClient {
                 drop(rep);
                 self.current = (self.current + 1) % self.replicas.len();
                 self.issue(api, false);
+            }
+            Outcome::Compute if self.pending_hit.is_some() => {
+                self.consecutive_failures = 0;
+                let data = self.pending_hit.take().expect("hit in flight");
+                self.finish_hit(api, data);
             }
             _ => api.exit(),
         }

@@ -22,13 +22,15 @@
 //! across the whole team.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use v_kernel::{naming, Api, Message, Outcome, Pid, Program, Scope};
 use v_sim::{SimDuration, SimTime};
 
+use crate::cache::CacheMode;
 use crate::disk::{DiskModel, DiskStats};
-use crate::proto::{IoOp, IoReply, IoRequest, IoStatus};
+use crate::proto::{IoOp, IoReply, IoRequest, IoStatus, CACHE_DENY, CACHE_UNTIL_INVALIDATED};
 use crate::store::{BlockStore, FileId, StoreError};
 use crate::BLOCK_SIZE;
 
@@ -72,6 +74,15 @@ pub struct FileServerConfig {
     /// service (see [`crate::replica`]) set this so the replicas can
     /// never diverge: every copy serves the same immutable image.
     pub read_only: bool,
+    /// Client-cache consistency scheme (see [`CacheMode`]). `Off` (the
+    /// default) never registers holders, never calls anyone back, and
+    /// answers `ReadCached` with a deny grant — the write path is
+    /// bit-identical to the pre-cache server.
+    pub cache_mode: CacheMode,
+    /// Lease granted per cached read in [`CacheMode::Leases`]; writes
+    /// wait out the longest unexpired lease (plus [`LEASE_GUARD`])
+    /// instead of calling holders back.
+    pub lease: SimDuration,
 }
 
 impl Default for FileServerConfig {
@@ -85,9 +96,16 @@ impl Default for FileServerConfig {
             register: Some(naming::logical::FILE_SERVER),
             workers: 1,
             read_only: false,
+            cache_mode: CacheMode::Off,
+            lease: SimDuration::from_millis(500),
         }
     }
 }
+
+/// Slack a lease-mode write waits beyond the last lease expiry: covers
+/// the reply's flight time, during which the client's lease clock
+/// (started when the grant *arrived*) still runs.
+pub const LEASE_GUARD: SimDuration = SimDuration::from_millis(10);
 
 impl FileServerConfig {
     /// The disk unit a spawn actually installs: `disk` as given for
@@ -103,8 +121,70 @@ impl FileServerConfig {
     }
 }
 
+/// Per-file read/write heat, kept sorted by file id. Groundwork for
+/// dynamic shard rebalancing and the cachemix reporting: which files a
+/// server actually serves, and how hot each one runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileHeat {
+    /// `(file id, reads, writes)`, sorted by file id.
+    entries: Vec<(u16, u64, u64)>,
+}
+
+impl FileHeat {
+    fn slot(&mut self, file: FileId) -> &mut (u16, u64, u64) {
+        let idx = match self.entries.binary_search_by_key(&file.0, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (file.0, 0, 0));
+                i
+            }
+        };
+        &mut self.entries[idx]
+    }
+
+    /// Counts one read (page or large) of `file`.
+    pub fn bump_read(&mut self, file: FileId) {
+        self.slot(file).1 += 1;
+    }
+
+    /// Counts one write of `file`.
+    pub fn bump_write(&mut self, file: FileId) {
+        self.slot(file).2 += 1;
+    }
+
+    /// `(reads, writes)` served for `file`.
+    pub fn of(&self, file: FileId) -> (u64, u64) {
+        match self.entries.binary_search_by_key(&file.0, |e| e.0) {
+            Ok(i) => (self.entries[i].1, self.entries[i].2),
+            Err(_) => (0, 0),
+        }
+    }
+
+    /// All `(file, reads, writes)` rows, sorted by file id.
+    pub fn entries(&self) -> &[(u16, u64, u64)] {
+        &self.entries
+    }
+
+    /// The file with the most total operations (ties: lowest id).
+    pub fn hottest(&self) -> Option<(FileId, u64)> {
+        self.entries
+            .iter()
+            .map(|&(f, r, w)| (FileId(f), r + w))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0 .0.cmp(&a.0 .0)))
+    }
+
+    /// Folds another heat table into this one (team aggregation).
+    pub fn absorb(&mut self, other: &FileHeat) {
+        for &(f, r, w) in &other.entries {
+            let s = self.slot(FileId(f));
+            s.1 += r;
+            s.2 += w;
+        }
+    }
+}
+
 /// Counters the server (or the whole team) accumulates.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FileServerStats {
     /// Requests served, by rough class.
     pub reads: u64,
@@ -124,12 +204,43 @@ pub struct FileServerStats {
     /// Deepest backlog the receptionist parked while every worker was
     /// busy.
     pub parked_peak: u64,
+    /// `ReadCached` requests served (a subset of `reads`).
+    pub cached_reads: u64,
+    /// Invalidation callbacks delivered to holders before writes.
+    pub invalidations: u64,
+    /// Callbacks that failed (dead holder host): the holder is dropped
+    /// and the write proceeds.
+    pub invalidation_failures: u64,
+    /// Writes that waited out at least one unexpired lease.
+    pub lease_waits: u64,
+    /// Per-file read/write heat across every request class.
+    pub heat: FileHeat,
     /// The shared disk's queueing counters — aggregated across every
     /// arm of a striped unit ([`DiskStats::absorb`]) — refreshed on
     /// every disk request so experiments can report utilization and
     /// queue depth instead of inferring them. Per-arm breakdowns come
     /// from the disk handle itself ([`DiskModel::per_arm_stats`]).
     pub disk: DiskStats,
+}
+
+/// One registered cache holder of a file.
+#[derive(Debug, Clone, Copy)]
+struct Holder {
+    /// The holder's cache agent.
+    agent: Pid,
+    /// Lease expiry (`None` in write-invalidate mode).
+    expires: Option<SimTime>,
+}
+
+/// Holder bookkeeping for one file.
+#[derive(Debug, Default)]
+pub(crate) struct FileHolders {
+    holders: Vec<Holder>,
+    /// Writes between holder-drain and commit. While nonzero, new
+    /// cached reads get a deny grant — a read served concurrently with
+    /// the write could otherwise install pre-write data *after* the
+    /// holders were drained, with nobody left to call it back.
+    write_pending: u32,
 }
 
 /// State one server team shares: the block store, the disk unit (one
@@ -144,6 +255,9 @@ pub(crate) struct SharedServerState {
     /// (file, block) the pending read-ahead will satisfy, and when the
     /// disk will have it. Shared: any worker may take the hit.
     pub(crate) prefetch: Rc<RefCell<Option<(FileId, u32, SimTime)>>>,
+    /// Cache holders per file id — team-shared so any worker's write
+    /// invalidates holders registered through any other worker.
+    pub(crate) holders: Rc<RefCell<HashMap<u16, FileHolders>>>,
 }
 
 impl SharedServerState {
@@ -153,6 +267,7 @@ impl SharedServerState {
             disk: Rc::new(RefCell::new(disk)),
             stats: Default::default(),
             prefetch: Default::default(),
+            holders: Default::default(),
         }
     }
 }
@@ -161,8 +276,18 @@ enum Phase {
     Idle,
     FsWork,
     DiskWait,
-    FetchRest { have: u32 },
-    Pushing { pushed: u32 },
+    FetchRest {
+        have: u32,
+    },
+    Pushing {
+        pushed: u32,
+    },
+    /// Write-invalidate: callbacks in flight, queue in
+    /// `FileServer::inval_queue`; the disk write starts when it drains.
+    Invalidating,
+    /// Leases: waiting out the longest unexpired lease before the disk
+    /// write.
+    LeaseWait,
 }
 
 struct Current {
@@ -180,6 +305,9 @@ pub struct FileServer {
     notify: Option<Pid>,
     phase: Phase,
     current: Option<Current>,
+    /// Holders still to call back for the in-progress write (reversed:
+    /// `pop()` walks registration order).
+    inval_queue: Vec<Pid>,
 }
 
 impl FileServer {
@@ -203,6 +331,7 @@ impl FileServer {
             notify,
             phase: Phase::Idle,
             current: None,
+            inval_queue: Vec::new(),
         }
     }
 
@@ -257,6 +386,7 @@ impl FileServer {
             status,
             file,
             value,
+            aux: 0,
             tag: cur.req.tag,
         }
         .encode();
@@ -269,6 +399,174 @@ impl FileServer {
             StoreError::NotFound => IoStatus::NotFound,
             StoreError::Exists => IoStatus::Exists,
             StoreError::BadBlock => IoStatus::BadBlock,
+        }
+    }
+
+    /// Registers the requesting cache agent as a holder of the file
+    /// (dispatch time, *before* the disk — so a write dispatched during
+    /// this read's disk wait still finds the holder and calls it back).
+    /// Reads arriving while a write is pending are not registered: the
+    /// serve-time grant will deny them.
+    fn register_holder(&mut self, now: SimTime, req: &IoRequest) {
+        if self.cfg.cache_mode == CacheMode::Off {
+            return;
+        }
+        let Some(agent) = Pid::from_raw(req.aux) else {
+            return;
+        };
+        let expires = match self.cfg.cache_mode {
+            CacheMode::Leases => Some(now + self.cfg.lease),
+            _ => None,
+        };
+        let mut h = self.shared.holders.borrow_mut();
+        let fh = h.entry(req.file.0).or_default();
+        if fh.write_pending > 0 {
+            return;
+        }
+        // Drop holders whose lease already lapsed while here.
+        fh.holders
+            .retain(|x| x.expires.map_or(true, |e| e > now) || x.agent == agent);
+        match fh.holders.iter_mut().find(|x| x.agent == agent) {
+            Some(x) => x.expires = expires,
+            None => fh.holders.push(Holder { agent, expires }),
+        }
+    }
+
+    /// The cacheability grant for a served read: deny unless the
+    /// requester is (still) a registered holder with no write pending.
+    fn read_grant(&self, now: SimTime, req: &IoRequest) -> u32 {
+        if self.cfg.cache_mode == CacheMode::Off || req.op != IoOp::ReadCached {
+            return CACHE_DENY;
+        }
+        let Some(agent) = Pid::from_raw(req.aux) else {
+            return CACHE_DENY;
+        };
+        let h = self.shared.holders.borrow();
+        let Some(fh) = h.get(&req.file.0) else {
+            return CACHE_DENY;
+        };
+        if fh.write_pending > 0 {
+            return CACHE_DENY;
+        }
+        let Some(holder) = fh.holders.iter().find(|x| x.agent == agent) else {
+            return CACHE_DENY;
+        };
+        match holder.expires {
+            None => CACHE_UNTIL_INVALIDATED,
+            Some(exp) if exp > now => {
+                let us = exp.since(now).as_nanos() / 1_000;
+                us.min(CACHE_UNTIL_INVALIDATED as u64 - 1) as u32
+            }
+            Some(_) => CACHE_DENY,
+        }
+    }
+
+    /// Starts the disk write for the current request (the pre-cache
+    /// write path).
+    fn write_disk(&mut self, api: &mut Api<'_>) {
+        let (file, block, count) = {
+            let cur = self.current.as_ref().expect("request in progress");
+            (
+                cur.req.file,
+                cur.req.block,
+                cur.req.count.min(BLOCK_SIZE as u32),
+            )
+        };
+        let done = self.disk_request(api.now(), file, block, count as usize);
+        self.phase = Phase::DiskWait;
+        api.delay(done.since(api.now()));
+    }
+
+    /// A write's data is fully in: run the consistency protocol before
+    /// committing. `Off` goes straight to the disk (bit-identical);
+    /// write-invalidate drains the file's holders with callbacks;
+    /// leases wait out the longest unexpired lease.
+    fn begin_write_commit(&mut self, api: &mut Api<'_>) {
+        if self.cfg.cache_mode == CacheMode::Off {
+            self.write_disk(api);
+            return;
+        }
+        let (file, excl) = {
+            let cur = self.current.as_ref().expect("request in progress");
+            (cur.req.file, cur.req.aux)
+        };
+        let now = api.now();
+        let taken = {
+            let mut h = self.shared.holders.borrow_mut();
+            let fh = h.entry(file.0).or_default();
+            fh.write_pending += 1;
+            std::mem::take(&mut fh.holders)
+        };
+        // The writer's own agent (if caching) purged locally at issue.
+        let excl_agent = Pid::from_raw(excl);
+        match self.cfg.cache_mode {
+            CacheMode::Off => unreachable!("handled above"),
+            CacheMode::WriteInvalidate => {
+                self.inval_queue = taken
+                    .iter()
+                    .filter(|x| Some(x.agent) != excl_agent)
+                    .map(|x| x.agent)
+                    .rev()
+                    .collect();
+                self.phase = Phase::Invalidating;
+                self.next_invalidation(api);
+            }
+            CacheMode::Leases => {
+                let latest = taken
+                    .iter()
+                    .filter(|x| Some(x.agent) != excl_agent)
+                    .filter_map(|x| x.expires)
+                    .filter(|&e| e > now)
+                    .max();
+                match latest {
+                    Some(exp) => {
+                        self.shared.stats.borrow_mut().lease_waits += 1;
+                        self.phase = Phase::LeaseWait;
+                        api.delay(exp.since(now) + LEASE_GUARD);
+                    }
+                    None => self.write_disk(api),
+                }
+            }
+        }
+    }
+
+    /// Sends the next pending invalidation callback, or starts the disk
+    /// write once the queue is drained.
+    fn next_invalidation(&mut self, api: &mut Api<'_>) {
+        match self.inval_queue.pop() {
+            Some(agent) => {
+                let (file, tag) = {
+                    let cur = self.current.as_ref().expect("request in progress");
+                    (cur.req.file, cur.req.tag)
+                };
+                let msg = IoRequest {
+                    op: IoOp::Invalidate,
+                    file,
+                    block: 0,
+                    count: 0,
+                    buffer: 0,
+                    aux: 0,
+                    tag,
+                }
+                .encode();
+                api.send(msg, agent);
+            }
+            None => self.write_disk(api),
+        }
+    }
+
+    /// Balances `begin_write_commit`'s pending marker once the write
+    /// commits (or fails at the store).
+    fn finish_write_pending(&mut self, file: FileId) {
+        if self.cfg.cache_mode == CacheMode::Off {
+            return;
+        }
+        let mut h = self.shared.holders.borrow_mut();
+        if let Some(fh) = h.get_mut(&file.0) {
+            fh.write_pending = fh.write_pending.saturating_sub(1);
+            if fh.write_pending == 0 && fh.holders.is_empty() {
+                h.remove(&file.0);
+            }
         }
     }
 
@@ -319,7 +617,11 @@ impl FileServer {
                     Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
                 }
             }
-            IoOp::Read => {
+            IoOp::Read | IoOp::ReadCached => {
+                if req.op == IoOp::ReadCached {
+                    self.shared.stats.borrow_mut().cached_reads += 1;
+                    self.register_holder(api.now(), &req);
+                }
                 // Read-ahead hit?
                 let pending = *self.shared.prefetch.borrow();
                 if let Some((f, b, ready)) = pending {
@@ -359,9 +661,7 @@ impl FileServer {
                         count - seg_len,
                     );
                 } else {
-                    let done = self.disk_request(api.now(), req.file, req.block, count as usize);
-                    self.phase = Phase::DiskWait;
-                    api.delay(done.since(api.now()));
+                    self.begin_write_commit(api);
                 }
             }
             IoOp::ReadLarge => {
@@ -369,6 +669,9 @@ impl FileServer {
                 self.phase = Phase::DiskWait;
                 api.delay(done.since(api.now()));
             }
+            // Invalidate is a server→agent callback; a server receiving
+            // one is a protocol error.
+            IoOp::Invalidate => self.reply_status(api, IoStatus::Error, 0, req.file),
         }
     }
 
@@ -392,6 +695,7 @@ impl FileServer {
                     status: IoStatus::Ok,
                     file: req.file,
                     value: n,
+                    aux: self.read_grant(api.now(), &req),
                     tag: req.tag,
                 }
                 .encode();
@@ -401,7 +705,11 @@ impl FileServer {
                 {
                     self.shared.stats.borrow_mut().errors += 1;
                 }
-                self.shared.stats.borrow_mut().reads += 1;
+                {
+                    let mut st = self.shared.stats.borrow_mut();
+                    st.reads += 1;
+                    st.heat.bump_read(req.file);
+                }
                 // Read-ahead: start fetching the next block now. The
                 // existence probe is free — no block copy.
                 if self.cfg.read_ahead {
@@ -416,7 +724,8 @@ impl FileServer {
         }
     }
 
-    /// Completes a write after data + disk are in.
+    /// Completes a write after data + disk (and any invalidation
+    /// callbacks / lease waits) are in.
     fn serve_write(&mut self, api: &mut Api<'_>) {
         let cur = self.current.as_ref().expect("request in progress");
         let req = cur.req;
@@ -427,9 +736,14 @@ impl FileServer {
             .store
             .borrow_mut()
             .write_block(req.file, req.block, &data);
+        self.finish_write_pending(req.file);
         match wrote {
             Ok(()) => {
-                self.shared.stats.borrow_mut().writes += 1;
+                {
+                    let mut st = self.shared.stats.borrow_mut();
+                    st.writes += 1;
+                    st.heat.bump_write(req.file);
+                }
                 self.reply_status(api, IoStatus::Ok, count, req.file);
             }
             Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
@@ -481,11 +795,16 @@ impl Program for FileServer {
                 api.compute(self.cfg.fs_cpu);
             }
             Outcome::Compute => self.dispatch(api),
+            Outcome::Delay if matches!(self.phase, Phase::LeaseWait) => {
+                // Every blocking lease has now expired on the holders'
+                // clocks too (the guard covers the grant flight).
+                self.write_disk(api);
+            }
             Outcome::Delay => {
                 // Disk finished.
                 let op = self.current.as_ref().expect("request in progress").req.op;
                 match op {
-                    IoOp::Read => self.serve_read(api),
+                    IoOp::Read | IoOp::ReadCached => self.serve_read(api),
                     IoOp::Write => self.serve_write(api),
                     IoOp::ReadLarge => {
                         let (file, offset, count) = {
@@ -526,13 +845,7 @@ impl Program for FileServer {
                         let (from, buffer) = (cur.from, cur.req.buffer);
                         api.move_from(from, SRV_IN + have, buffer + have, count - have);
                     } else {
-                        let (file, block) = {
-                            let cur = self.current.as_ref().expect("in progress");
-                            (cur.req.file, cur.req.block)
-                        };
-                        let done = self.disk_request(api.now(), file, block, count as usize);
-                        self.phase = Phase::DiskWait;
-                        api.delay(done.since(api.now()));
+                        self.begin_write_commit(api);
                     }
                 }
                 Phase::Pushing { pushed } => {
@@ -544,7 +857,11 @@ impl Program for FileServer {
                     if pushed < count {
                         self.push_large(api, pushed);
                     } else {
-                        self.shared.stats.borrow_mut().large_reads += 1;
+                        {
+                            let mut st = self.shared.stats.borrow_mut();
+                            st.large_reads += 1;
+                            st.heat.bump_read(file);
+                        }
                         self.reply_status(api, IoStatus::Ok, pushed, file);
                     }
                 }
@@ -553,6 +870,21 @@ impl Program for FileServer {
             Outcome::Move(Err(_)) => {
                 self.shared.stats.borrow_mut().errors += 1;
                 self.reply_status(api, IoStatus::Error, 0, FileId(0));
+            }
+            // An invalidation callback completed (the holder's agent
+            // replied) or failed (holder host down after the detection
+            // budget): either way the holder is gone — move on. Matched
+            // before the worker idle-ack arm: a worker's Send in this
+            // phase is a callback, not an idle notification.
+            Outcome::Send(res) if matches!(self.phase, Phase::Invalidating) => {
+                {
+                    let mut st = self.shared.stats.borrow_mut();
+                    match res {
+                        Ok(_) => st.invalidations += 1,
+                        Err(_) => st.invalidation_failures += 1,
+                    }
+                }
+                self.next_invalidation(api);
             }
             // Team worker only: the receptionist acknowledged our idle
             // notification — wait for the next forwarded request.

@@ -145,6 +145,8 @@ pub struct ShardedFsClient {
     /// Server the in-flight request went to.
     target: Option<Pid>,
     started: Option<v_sim::SimTime>,
+    cache: Option<crate::cache::CacheLayer>,
+    pending_hit: Option<Vec<u8>>,
 }
 
 impl ShardedFsClient {
@@ -165,6 +167,8 @@ impl ShardedFsClient {
             owner_of: HashMap::new(),
             target: None,
             started: None,
+            cache: None,
+            pending_hit: None,
         }
     }
 
@@ -188,7 +192,17 @@ impl ShardedFsClient {
             owner_of: HashMap::new(),
             target: None,
             started: None,
+            cache: None,
+            pending_hit: None,
         }
+    }
+
+    /// Attaches a block cache to the read path. Cached blocks are keyed
+    /// by file id, which [`ShardMap::id_base`] keeps disjoint across
+    /// shards — one cache serves every shard without collisions.
+    pub fn with_cache(mut self, layer: crate::cache::CacheLayer) -> ShardedFsClient {
+        self.cache = Some(layer);
+        self
     }
 
     fn servers(&self) -> &[Pid] {
@@ -220,6 +234,16 @@ impl ShardedFsClient {
             api.exit();
             return;
         };
+        let mut cache_agent = None;
+        if let Some(layer) = self.cache.as_mut() {
+            if let Some(data) = layer.try_hit(&call, self.file, api.now()) {
+                self.pending_hit = Some(data);
+                api.compute(layer.hit_cpu());
+                return;
+            }
+            layer.on_issue(&call, self.file);
+            cache_agent = Some(layer.agent_aux());
+        }
         let owner = match &call {
             FsCall::Open(name) | FsCall::Create(name, _) => {
                 self.servers()[self.map.shard_of_name(name)]
@@ -227,7 +251,7 @@ impl ShardedFsClient {
             _ => self.owner_for_current_file(),
         };
         self.target = Some(owner);
-        issue_call(api, &call, self.file, self.step as u16, owner);
+        issue_call(api, &call, self.file, self.step as u16, owner, cache_agent);
     }
 
     fn check(&mut self, api: &mut Api<'_>, reply: IoReply) {
@@ -240,6 +264,27 @@ impl ShardedFsClient {
             self.owner_of
                 .insert(opened.0, self.target.expect("request in flight"));
         }
+        drop(rep);
+        if let Some(layer) = self.cache.as_mut() {
+            layer.install_reply(api, &call, self.file, &reply, api.now());
+        }
+    }
+
+    /// Completes a cache hit exactly like [`crate::client::FsClient`]:
+    /// deposit the bytes, synthesize an `Ok` reply, run the shared
+    /// check path.
+    fn finish_hit(&mut self, api: &mut Api<'_>, data: Vec<u8>) {
+        api.mem_write(crate::client::DATA_BUF, &data).expect("fits");
+        let reply = IoReply {
+            status: crate::proto::IoStatus::Ok,
+            file: self.file,
+            value: data.len() as u32,
+            aux: crate::proto::CACHE_DENY,
+            tag: self.step as u16,
+        };
+        self.check(api, reply);
+        self.step += 1;
+        self.issue(api);
     }
 }
 
@@ -279,6 +324,10 @@ impl Program for ShardedFsClient {
             Outcome::Send(Err(_)) => {
                 self.report.borrow_mut().errors += 1;
                 api.exit();
+            }
+            Outcome::Compute if self.pending_hit.is_some() => {
+                let data = self.pending_hit.take().expect("hit in flight");
+                self.finish_hit(api, data);
             }
             _ => api.exit(),
         }

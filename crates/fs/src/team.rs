@@ -285,7 +285,7 @@ mod tests {
             assert_eq!(r.integrity_errors, 0, "client {i}: {r:?}");
             assert_eq!(r.completed, 9, "client {i}: {r:?}");
         }
-        let st = *team.stats.borrow();
+        let st = team.stats.borrow().clone();
         assert_eq!(st.reads, 24);
         assert_eq!(st.meta, 3);
         assert_eq!(st.forwarded, 27, "every request went through Forward");
@@ -302,7 +302,7 @@ mod tests {
         for r in &reports {
             assert!(r.done && r.errors == 0 && r.integrity_errors == 0, "{r:?}");
         }
-        let st = *team.stats.borrow();
+        let st = team.stats.borrow().clone();
         assert_eq!(st.forwarded, 4 * 7);
         assert!(
             st.parked_peak > 0,
@@ -316,7 +316,7 @@ mod tests {
         for r in &reports {
             assert!(r.done && r.errors == 0 && r.integrity_errors == 0, "{r:?}");
         }
-        let st = *team.stats.borrow();
+        let st = team.stats.borrow().clone();
         assert_eq!(st.forwarded, 0, "no receptionist in the sequential path");
         assert_eq!(st.parked_peak, 0);
         assert_eq!(team.workers, vec![team.server]);
@@ -380,7 +380,7 @@ mod tests {
             let r = rep.borrow().clone();
             assert!(r.done && r.errors == 0 && r.integrity_errors == 0, "{r:?}");
         }
-        let st = *team.stats.borrow();
+        let st = team.stats.borrow().clone();
         assert_eq!(st.writes, 1);
         assert_eq!(st.large_reads, 1);
         assert_eq!(st.reads, 1);

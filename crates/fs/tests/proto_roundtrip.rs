@@ -13,7 +13,7 @@ proptest! {
     /// field values.
     #[test]
     fn io_request_round_trips(
-        op in 1u8..=6,
+        op in 1u8..=8,
         file in any::<u16>(),
         block in any::<u32>(),
         count in any::<u32>(),
@@ -38,7 +38,7 @@ proptest! {
     /// must never clobber (and vice versa).
     #[test]
     fn io_request_round_trips_with_segment_bits(
-        op in 1u8..=6,
+        op in 1u8..=8,
         file in any::<u16>(),
         block in any::<u32>(),
         count in any::<u32>(),
@@ -71,12 +71,14 @@ proptest! {
         status in 0u8..=5,
         file in any::<u16>(),
         value in any::<u32>(),
+        aux in any::<u32>(),
         tag in any::<u16>(),
     ) {
         let reply = IoReply {
             status: IoStatus::from_u8(status),
             file: FileId(file),
             value,
+            aux,
             tag,
         };
         prop_assert_eq!(IoReply::decode(&reply.encode()), reply);

@@ -74,6 +74,15 @@ pub struct MeshConfig {
     pub gateway_queue: usize,
     /// Per-frame store-and-forward processing delay at each gateway.
     pub forward_delay: SimDuration,
+    /// Frame coalescing: when a frame is already **queued** behind the
+    /// forwarding engine and bound for the same egress segment as the
+    /// frame the engine just handled, the gateway batches its header
+    /// processing with the predecessor's and skips the per-frame
+    /// [`MeshConfig::forward_delay`] charge (the route lookup and egress
+    /// setup were just done; a real gateway keeps them hot). Off by
+    /// default — the uncoalesced mesh is the calibrated baseline, and
+    /// every existing topology must stay bit-identical.
+    pub coalesce: bool,
 }
 
 impl MeshConfig {
@@ -89,7 +98,15 @@ impl MeshConfig {
             gateways,
             gateway_queue: Self::DEFAULT_QUEUE,
             forward_delay: Self::DEFAULT_FORWARD_DELAY,
+            coalesce: false,
         }
+    }
+
+    /// The same topology with gateway frame coalescing enabled
+    /// ([`MeshConfig::coalesce`]).
+    pub fn with_coalescing(mut self) -> MeshConfig {
+        self.coalesce = true;
+        self
     }
 
     /// `n` 3 Mb segments joined in a chain by `n - 1` gateways (gateway
@@ -150,6 +167,7 @@ impl From<InternetworkConfig> for MeshConfig {
             segments: cfg.segments,
             gateway_queue: cfg.gateway_queue,
             forward_delay: cfg.forward_delay,
+            coalesce: false,
         }
     }
 }
@@ -170,6 +188,10 @@ struct Gateway {
     /// Service-start times of accepted frames still queued or in
     /// service; entries whose start is past are purged lazily.
     backlog: Vec<SimTime>,
+    /// Egress segment of the last frame forwarded, for
+    /// [`MeshConfig::coalesce`]: a queued successor bound the same way
+    /// batches its header processing with this one.
+    last_egress: Option<usize>,
     stats: GatewayStats,
 }
 
@@ -258,6 +280,7 @@ impl Internetwork {
                 alive: true,
                 free: SimTime::ZERO,
                 backlog: Vec::new(),
+                last_egress: None,
                 stats: GatewayStats::default(),
             });
         }
@@ -380,10 +403,22 @@ impl Internetwork {
             let Some(start) = self.admit(g, at) else {
                 break;
             };
-            let cursor = start + self.cfg.forward_delay;
+            // Coalescing: a frame that *queued* behind the engine
+            // (start > at) and leaves on the same egress segment as its
+            // predecessor shares that predecessor's header-processing
+            // charge — the route lookup is still hot.
+            let coalesce =
+                self.cfg.coalesce && start > at && self.gateways[g].last_egress == Some(egress);
+            let cursor = if coalesce {
+                self.gateways[g].stats.coalesced += 1;
+                start
+            } else {
+                start + self.cfg.forward_delay
+            };
             buf.clear();
             let win = self.segments[egress].transmit_into(cursor, frame.clone(), &mut buf);
             self.gateways[g].free = win.tx_end;
+            self.gateways[g].last_egress = Some(egress);
             self.gateways[g].stats.forwarded += 1;
 
             if egress == dest_seg {
@@ -464,6 +499,7 @@ impl Internetwork {
                 let win = self.segments[e].transmit_into(cursor, frame.clone(), &mut buf);
                 cursor = win.tx_end;
                 self.gateways[g].free = win.tx_end;
+                self.gateways[g].last_egress = Some(e);
                 self.gateways[g].stats.forwarded += 1;
                 for d in buf.drain(..) {
                     match self.gateway_index(d.dst) {
@@ -678,6 +714,7 @@ impl Transport for Internetwork {
             Some(gw) if gw.alive => {
                 gw.alive = false;
                 gw.backlog.clear(); // queued frames die with the gateway
+                gw.last_egress = None; // a restarted engine has cold state
                 self.recompute_routes();
                 true
             }
@@ -967,6 +1004,72 @@ mod tests {
     }
 
     #[test]
+    fn coalescing_batches_a_queued_same_egress_burst() {
+        let run = |coalesce: bool| {
+            let mut cfg: MeshConfig = InternetworkConfig::two_segments().into();
+            cfg.coalesce = coalesce;
+            let mut n = Internetwork::new(cfg, 21);
+            n.attach(MacAddr(1), 0);
+            n.attach(MacAddr(2), 1);
+            for _ in 0..4 {
+                n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 1024));
+            }
+            let mut fwd = polled(&mut n);
+            fwd.sort_by_key(|d| d.at);
+            (fwd.last().unwrap().at, fwd.len(), total(&n))
+        };
+        let (last_off, count_off, st_off) = run(false);
+        let (last_on, count_on, st_on) = run(true);
+        assert_eq!(st_off.coalesced, 0, "off never coalesces");
+        assert_eq!(count_on, count_off, "coalescing drops nothing");
+        assert!(
+            st_on.coalesced >= 2,
+            "queued successors bound the same way must batch: {st_on:?}"
+        );
+        assert!(
+            last_on < last_off,
+            "batched headers drain the queue sooner: {last_on:?} vs {last_off:?}"
+        );
+    }
+
+    #[test]
+    fn single_frame_is_never_coalesced() {
+        // An unqueued frame has no predecessor to batch with: its
+        // delivery time must match the uncoalesced mesh exactly.
+        let run = |coalesce: bool| {
+            let mut cfg: MeshConfig = InternetworkConfig::two_segments().into();
+            cfg.coalesce = coalesce;
+            let mut n = Internetwork::new(cfg, 5);
+            n.attach(MacAddr(1), 0);
+            n.attach(MacAddr(2), 1);
+            n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 64));
+            (polled(&mut n)[0].at, total(&n).coalesced)
+        };
+        let (at_off, _) = run(false);
+        let (at_on, coalesced_on) = run(true);
+        assert_eq!(at_on, at_off, "no queue, no coalescing, same latency");
+        assert_eq!(coalesced_on, 0);
+    }
+
+    #[test]
+    fn alternating_egress_does_not_coalesce() {
+        // Same gateway, egress flipping every frame: the header state is
+        // never hot for the successor, so every forward pays in full.
+        let cfg = MeshConfig::star(3).with_coalescing();
+        let mut n = Internetwork::new(cfg, 33);
+        n.attach(MacAddr(1), 0);
+        n.attach(MacAddr(2), 1);
+        n.attach(MacAddr(3), 2);
+        for _ in 0..3 {
+            n.transmit(SimTime::ZERO, frame(MacAddr(2), MacAddr(1), 1024));
+            n.transmit(SimTime::ZERO, frame(MacAddr(3), MacAddr(1), 1024));
+        }
+        let st = total(&n);
+        assert!(st.forwarded > 0);
+        assert_eq!(st.coalesced, 0, "egress alternates every frame");
+    }
+
+    #[test]
     #[should_panic(expected = "reserved gateway range")]
     fn gateway_range_cannot_be_attached() {
         let mut n = star();
@@ -990,6 +1093,7 @@ mod tests {
             gateways: vec![vec![0, 1], vec![2, 3]],
             gateway_queue: 8,
             forward_delay: SimDuration::from_micros(300),
+            coalesce: false,
         };
         Internetwork::new(cfg, 1);
     }
@@ -1002,6 +1106,7 @@ mod tests {
             gateways: vec![vec![1, 1]],
             gateway_queue: 8,
             forward_delay: SimDuration::from_micros(300),
+            coalesce: false,
         };
         Internetwork::new(cfg, 1);
     }

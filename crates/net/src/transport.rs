@@ -27,6 +27,10 @@ pub struct GatewayStats {
     pub corrupt_drops: u64,
     /// Largest number of frames ever waiting in the queue at once.
     pub max_queue: usize,
+    /// Forwards that skipped the per-frame processing delay because the
+    /// frame was queued behind another bound for the same egress segment
+    /// (batched header processing — [`MeshConfig::coalesce`]).
+    pub coalesced: u64,
 }
 
 impl GatewayStats {
@@ -39,11 +43,13 @@ impl GatewayStats {
             queue_drops,
             corrupt_drops,
             max_queue,
+            coalesced,
         } = *o;
         self.forwarded += forwarded;
         self.queue_drops += queue_drops;
         self.corrupt_drops += corrupt_drops;
         self.max_queue = self.max_queue.max(max_queue);
+        self.coalesced += coalesced;
     }
 }
 

@@ -30,10 +30,14 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use v_fs::client::{FsCall, FsClientReport};
 use v_fs::loader::{install_image, LoadReport, ProgramLoader};
-use v_fs::{spawn_shard_server, BlockStore, DiskModel, FileServerConfig, ShardMap};
+use v_fs::{
+    spawn_caching_client, spawn_shard_server, BlockStore, CacheConfig, CacheMode, DiskModel,
+    FileServerConfig, ShardMap, BLOCK_SIZE,
+};
 use v_kernel::naming::Scope;
-use v_kernel::{Api, Cluster, ClusterConfig, CpuSpeed, HostId, Outcome, Program};
+use v_kernel::{Api, Cluster, ClusterConfig, CpuSpeed, HostId, Outcome, Pid, Program};
 use v_net::MeshConfig;
 use v_sim::SimDuration;
 
@@ -58,6 +62,18 @@ pub struct BootStormConfig {
     /// shard a two-arm unit: under mass load the image reads queue at
     /// the disk, and a second arm overlaps a span's block transfers.
     pub disk_arms: usize,
+    /// Per-client block-cache capacity for the post-load reread phase
+    /// ([`v_fs::BlockCache`], write-invalidate mode); `0` disables
+    /// caching and leaves the storm bit-identical to the pre-cache
+    /// engine.
+    pub client_cache: usize,
+    /// Shared-text blocks each client re-reads per pass after its image
+    /// loads (booted workstations page the same system binaries over
+    /// and over); `0` skips the reread phase entirely.
+    pub reread_blocks: u32,
+    /// Passes over the reread working set. The first pass faults the
+    /// blocks in; later passes are where a client cache pays.
+    pub reread_passes: u32,
 }
 
 impl BootStormConfig {
@@ -74,6 +90,9 @@ impl BootStormConfig {
             wave_spacing: SimDuration::from_millis(10),
             cpu: CpuSpeed::Mc68000At10MHz,
             disk_arms: 2,
+            client_cache: 0,
+            reread_blocks: 0,
+            reread_passes: 0,
         }
     }
 }
@@ -122,6 +141,16 @@ pub struct BootStormReport {
     pub retransmissions: u64,
     /// Bulk-transfer chunks sent (the image pages).
     pub chunks_sent: u64,
+    /// Reread-phase operations completed across all clients (0 when the
+    /// phase is disabled).
+    pub reread_ops: u64,
+    /// Mean per-operation latency of the reread phase, milliseconds.
+    pub reread_ms_mean: f64,
+    /// Reread operations served per simulated second across the whole
+    /// cluster — the served-load metric client caching moves.
+    pub reread_reqs_per_s: f64,
+    /// Client-cache hits during the reread phase.
+    pub cache_hits: u64,
 }
 
 impl BootStormReport {
@@ -137,7 +166,9 @@ impl BootStormReport {
                 "\"events_scheduled\":{},\"events_popped\":{},",
                 "\"events_dispatched\":{},\"frames_sent\":{},",
                 "\"deliveries\":{},\"getpid_broadcasts\":{},",
-                "\"retransmissions\":{},\"chunks_sent\":{}}}"
+                "\"retransmissions\":{},\"chunks_sent\":{},",
+                "\"reread_ops\":{},\"reread_ms_mean\":{:.3},",
+                "\"reread_reqs_per_s\":{:.3},\"cache_hits\":{}}}"
             ),
             self.clients,
             self.shards,
@@ -157,6 +188,10 @@ impl BootStormReport {
             self.getpid_broadcasts,
             self.retransmissions,
             self.chunks_sent,
+            self.reread_ops,
+            self.reread_ms_mean,
+            self.reread_reqs_per_s,
+            self.cache_hits,
         )
     }
 }
@@ -213,21 +248,28 @@ pub fn run_boot_storm(cfg: &BootStormConfig) -> BootStormReport {
     for name in &names {
         install_image(&mut master, name, cfg.image_size, 0xB7);
     }
-    for s in 0..shards {
-        spawn_shard_server(
-            &mut cl,
-            HostId(s),
-            &map,
-            s,
-            FileServerConfig {
-                disk: DiskModel::fixed(SimDuration::from_millis(2)),
-                disk_arms: cfg.disk_arms,
-                transfer_unit: 4096,
-                ..FileServerConfig::default()
-            },
-            master.clone(),
-        );
-    }
+    let servers: Vec<Pid> = (0..shards)
+        .map(|s| {
+            spawn_shard_server(
+                &mut cl,
+                HostId(s),
+                &map,
+                s,
+                FileServerConfig {
+                    disk: DiskModel::fixed(SimDuration::from_millis(2)),
+                    disk_arms: cfg.disk_arms,
+                    transfer_unit: 4096,
+                    cache_mode: if cfg.client_cache > 0 {
+                        CacheMode::WriteInvalidate
+                    } else {
+                        CacheMode::Off
+                    },
+                    ..FileServerConfig::default()
+                },
+                master.clone(),
+            )
+        })
+        .collect();
     cl.run(); // every server parked in its Receive
 
     let reports: Vec<Rc<RefCell<LoadReport>>> = (0..cfg.clients)
@@ -260,13 +302,94 @@ pub fn run_boot_storm(cfg: &BootStormConfig) -> BootStormReport {
         }
     }
     cl.run();
+    let storm_ms = cl.now().since(v_sim::SimTime::ZERO).as_millis_f64();
+
+    // Post-load reread phase: every booted client pages the same
+    // shared-text span of its image again and again (system binaries,
+    // shells — the traffic §6.3 says dominates a diskless workstation's
+    // life after boot). With `client_cache` set, the second and later
+    // passes hit the per-client block cache instead of the shard server;
+    // `reread_reqs_per_s` is the served-load win that buys.
+    let mut reread_ops = 0u64;
+    let mut reread_ms_mean = 0.0;
+    let mut reread_reqs_per_s = 0.0;
+    let mut cache_hits = 0u64;
+    let mut reread_errors = 0u64;
+    let mut reread_integrity = 0u64;
+    if cfg.reread_blocks > 0 && cfg.reread_passes > 0 {
+        let full_blocks = (cfg.image_size / BLOCK_SIZE as u32).max(1);
+        let span = cfg.reread_blocks.min(full_blocks);
+        let cache_cfg = if cfg.client_cache > 0 {
+            CacheConfig::write_invalidate(cfg.client_cache)
+        } else {
+            CacheConfig::off()
+        };
+        let rr_reports: Vec<Rc<RefCell<FsClientReport>>> = (0..cfg.clients)
+            .map(|_| Rc::new(RefCell::new(FsClientReport::default())))
+            .collect();
+        let mut handles = Vec::with_capacity(cfg.clients);
+        for (j, report) in rr_reports.iter().enumerate() {
+            let shard = j % shards;
+            let mut script = vec![FsCall::Open(names[shard].clone())];
+            for _ in 0..cfg.reread_passes {
+                for b in 0..span {
+                    script.push(FsCall::ReadExpect {
+                        block: 1 + b,
+                        count: BLOCK_SIZE as u32,
+                        expect: 0xB7,
+                    });
+                }
+            }
+            handles.push(spawn_caching_client(
+                &mut cl,
+                HostId(shards + j),
+                servers[shard],
+                script,
+                report.clone(),
+                &cache_cfg,
+            ));
+        }
+        cl.run();
+        // Served load over the phase's busy period — the slowest
+        // client's script span — not quiescence time, which is
+        // dominated by draining the last protocol timers and would
+        // flatten the comparison.
+        let mut busy_ms = 0.0f64;
+        let mut ms_sum = 0.0;
+        for report in &rr_reports {
+            let r = report.borrow();
+            reread_ops += r.completed;
+            reread_errors += r.errors;
+            reread_integrity += r.integrity_errors;
+            if !r.done {
+                reread_errors += 1;
+            }
+            ms_sum += r.elapsed_ms;
+            busy_ms = busy_ms.max(r.elapsed_ms);
+        }
+        for h in &handles {
+            cache_hits += h.stats().hits;
+        }
+        if reread_ops > 0 {
+            reread_ms_mean = ms_sum / reread_ops as f64;
+        }
+        if busy_ms > 0.0 {
+            reread_reqs_per_s = reread_ops as f64 * 1000.0 / busy_ms;
+        }
+    }
 
     let mut out = BootStormReport {
         clients: cfg.clients,
         shards,
         image_bytes: cfg.image_size,
         resolve_failures: *resolve_failures.borrow(),
-        sim_ms: cl.now().since(v_sim::SimTime::ZERO).as_millis_f64(),
+        sim_ms: storm_ms,
+        reread_ops,
+        reread_ms_mean,
+        reread_reqs_per_s,
+        cache_hits,
+        errors: reread_errors,
+        integrity_errors: reread_integrity,
         ..BootStormReport::default()
     };
     let mut load_ms_sum = 0.0;
@@ -358,6 +481,54 @@ mod tests {
             r1.load_ms_mean
         );
         assert!(r2.load_ms_max <= r1.load_ms_max);
+    }
+
+    #[test]
+    fn cached_reread_multiplies_served_load() {
+        // Same storm, same reread traffic; only the client cache
+        // differs. The cached run must serve the repeat passes locally:
+        // hits appear, per-op latency drops, served load climbs.
+        let mut uncached = BootStormConfig::new(8);
+        uncached.image_size = 8192;
+        uncached.reread_blocks = 8;
+        uncached.reread_passes = 4;
+        let mut cached = uncached.clone();
+        cached.client_cache = 64;
+        let r0 = run_boot_storm(&uncached);
+        let r1 = run_boot_storm(&cached);
+        assert_eq!(r0.loaded, 8, "{r0:?}");
+        assert_eq!(r1.loaded, 8, "{r1:?}");
+        assert_eq!(r0.errors + r0.integrity_errors, 0, "{r0:?}");
+        assert_eq!(r1.errors + r1.integrity_errors, 0, "{r1:?}");
+        assert_eq!(r0.reread_ops, r1.reread_ops, "identical scripts");
+        assert!(r0.reread_ops > 0);
+        assert_eq!(r0.cache_hits, 0, "no cache, no hits");
+        // 3 of 4 passes over an 8-block set fit a 64-block cache.
+        assert_eq!(r1.cache_hits, 8 * 8 * 3, "{r1:?}");
+        assert!(
+            r1.reread_ms_mean < r0.reread_ms_mean,
+            "cached rereads must be faster per op: {} ms vs {} ms",
+            r1.reread_ms_mean,
+            r0.reread_ms_mean
+        );
+        assert!(
+            r1.reread_reqs_per_s > r0.reread_reqs_per_s,
+            "cache hits must raise served load: {} vs {} req/s",
+            r1.reread_reqs_per_s,
+            r0.reread_reqs_per_s
+        );
+    }
+
+    #[test]
+    fn reread_disabled_reports_zeroes() {
+        let mut cfg = BootStormConfig::new(4);
+        cfg.image_size = 1024;
+        let r = run_boot_storm(&cfg);
+        assert_eq!(r.loaded, 4, "{r:?}");
+        assert_eq!(r.reread_ops, 0);
+        assert_eq!(r.cache_hits, 0);
+        assert_eq!(r.reread_ms_mean, 0.0);
+        assert_eq!(r.reread_reqs_per_s, 0.0);
     }
 
     #[test]
