@@ -14,6 +14,7 @@ mod failover;
 mod fileserver;
 mod multi;
 mod pipeline;
+mod rebalance;
 mod shard;
 mod table_4_1;
 mod table_5;
@@ -33,6 +34,7 @@ pub use failover::{failover, failover_with_rounds};
 pub use fileserver::file_server_capacity;
 pub use multi::multi_process_traffic;
 pub use pipeline::{pipeline_contention, pipeline_with_rounds};
+pub use rebalance::{rebalance, rebalance_with_rounds};
 pub use shard::{shard_placement, shard_with_rounds};
 pub use table_4_1::{network_penalty, network_penalty_with_rounds};
 pub use table_5::kernel_performance;

@@ -1,7 +1,7 @@
 //! `v-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|failover|pipeline|datapath|cachemix|ablate|engine]...
+//! v-bench [all|4-1|5-1|5-2|5-4|6-1|6-2|6-3|7|8|ip|relay|wfs|streaming|wan|shard|rebalance|failover|pipeline|datapath|cachemix|ablate|engine]...
 //!         [--json DIR] [--check PCT]
 //! v-bench --smoke [--json DIR] [--check PCT]
 //! ```
@@ -15,7 +15,8 @@
 //! from the paper exceeds `PCT` percent — the CI regression gate.
 //!
 //! `--smoke` runs Table 4-1, the WAN table, the shard-placement table,
-//! the replica-failover table, the server-team pipelining table, a
+//! the rebalancing table, the replica-failover table, the server-team
+//! pipelining table, a
 //! small boot-storm engine-throughput run and the cache-mix table with
 //! tiny round counts: a
 //! cheap end-to-end exercise of the experiment pipeline for CI, not a
@@ -45,6 +46,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
         "streaming" => exp::streaming_comparison(),
         "wan" => exp::wan_topologies(),
         "shard" => exp::shard_placement(),
+        "rebalance" => exp::rebalance(),
         "failover" => exp::failover(),
         "pipeline" => exp::pipeline_contention(),
         "datapath" => exp::datapath(),
@@ -58,7 +60,7 @@ fn comparison_for(id: &str) -> Option<Comparison> {
     })
 }
 
-const ALL: [&str; 21] = [
+const ALL: [&str; 22] = [
     "4-1",
     "5-1",
     "5-2",
@@ -74,6 +76,7 @@ const ALL: [&str; 21] = [
     "streaming",
     "wan",
     "shard",
+    "rebalance",
     "failover",
     "pipeline",
     "datapath",
@@ -178,6 +181,8 @@ fn main() {
         ok &= process(&w, "wan", &opts);
         let s = exp::shard_with_rounds(40);
         ok &= process(&s, "shard", &opts);
+        let rb = exp::rebalance_with_rounds(80);
+        ok &= process(&rb, "rebalance", &opts);
         let f = exp::failover_with_rounds(40);
         ok &= process(&f, "failover", &opts);
         let p = exp::pipeline_with_rounds(8);
@@ -192,9 +197,9 @@ fn main() {
             std::process::exit(2);
         }
         println!(
-            "smoke OK: Table 4-1, WAN, shard, failover, server-team pipelines, the \
-             data-path table, the boot-storm engine gate and the cache-mix table ran \
-             end to end (tiny rounds, not a measurement)"
+            "smoke OK: Table 4-1, WAN, shard, rebalance, failover, server-team \
+             pipelines, the data-path table, the boot-storm engine gate and the \
+             cache-mix table ran end to end (tiny rounds, not a measurement)"
         );
         return;
     }

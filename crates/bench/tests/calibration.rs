@@ -274,6 +274,57 @@ fn shard_placement_orders_by_hops_and_preserves_the_baseline() {
 }
 
 #[test]
+fn rebalancing_spreads_heat_and_keeps_the_off_arm_bit_identical() {
+    let c = exp::rebalance_with_rounds(100);
+    // Bit-identical: migration-capable services plus overlay-carrying
+    // clients with the rebalancer never started must reproduce the
+    // plain sharded deployment's timeline to the event. Exact float
+    // equality — any perturbation is a bug.
+    let perturbation = metric_of(&c, "rebalancer-off perturbation");
+    assert_eq!(
+        perturbation, 0.0,
+        "the idle migration stack perturbed the sharded baseline by {perturbation} ms"
+    );
+    // The acceptance bar: walking hot files off the loaded shard must
+    // lift served load by >= 1.3x over the static placement.
+    let gain = metric_of(&c, "rebalancing served-load gain");
+    assert!(
+        gain >= 1.3,
+        "served-load gain {gain:.2}x below the 1.3x bar"
+    );
+    // The policy actually ran: files moved, and the shards settled
+    // inside the band before the round budget ran out.
+    let moved = metric_of(&c, "files migrated");
+    assert!(
+        (1.0..=4.0).contains(&moved),
+        "expected 1–4 live migrations, saw {moved}"
+    );
+    assert!(
+        metric_of(&c, "rounds to convergence") >= 1.0,
+        "the rebalancer never converged inside its round budget"
+    );
+    // Per-arm utilization converges: the static arm pins one disk and
+    // idles three, the rebalanced arm at most halves that spread.
+    let spread_static = metric_of(&c, "disk utilization spread, static");
+    let spread_reb = metric_of(&c, "disk utilization spread, rebalanced");
+    assert!(
+        spread_reb < spread_static / 2.0,
+        "utilization spread must at least halve: {spread_static:.1} -> {spread_reb:.1} pp"
+    );
+    // Exactly-once accounting across the moves (the experiment already
+    // asserts zero failed/duplicated/corrupted ops per client): every
+    // server-side forward of a stale request is matched by exactly one
+    // client-side owner correction.
+    let stale = metric_of(&c, "stale-owner corrections (clients)");
+    let forwarded = metric_of(&c, "forwarded stale requests (servers)");
+    assert!(stale >= 1.0, "no client ever chased a moved file");
+    assert_eq!(
+        stale, forwarded,
+        "client corrections must reconcile with server forwards to the op"
+    );
+}
+
+#[test]
 fn failover_bounds_the_spike_and_recovers_steady_latency() {
     let c = exp::failover_with_rounds(60);
     let control = metric_of(&c, "steady read, no-fault control");

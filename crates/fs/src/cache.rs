@@ -308,6 +308,7 @@ impl Program for CacheAgent {
                             file: req.file,
                             value: dropped as u32,
                             aux: 0,
+                            owner: 0,
                             tag: req.tag,
                         }
                     }
@@ -316,6 +317,7 @@ impl Program for CacheAgent {
                         file: FileId(0),
                         value: 0,
                         aux: 0,
+                        owner: 0,
                         tag: 0,
                     },
                 };

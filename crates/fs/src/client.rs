@@ -211,6 +211,19 @@ pub struct FsClientReport {
     /// Simulated milliseconds from the first issued operation to script
     /// completion (0 until `done`).
     pub elapsed_ms: f64,
+    /// Replies stamped by a different service than the one targeted:
+    /// the request chased a migrated file through a server-side
+    /// `Forward`, and the owner cache was corrected on the spot
+    /// (sharded client only; reconciles against the servers'
+    /// [`crate::FileServerStats::moved_forwards`]).
+    pub stale_owner_forwards: u64,
+    /// Writes refused with retry-after (file draining for migration)
+    /// and re-issued after a backoff — each such write still completes
+    /// exactly once (sharded client only).
+    pub write_retries: u64,
+    /// Steps re-routed after the cached owner's host died (sharded
+    /// client with a placement overlay).
+    pub owner_failovers: u64,
 }
 
 /// Client buffer locations (shared with [`crate::shard::ShardedFsClient`]).
@@ -413,6 +426,7 @@ impl FsClient {
             file: self.file,
             value: data.len() as u32,
             aux: crate::proto::CACHE_DENY,
+            owner: 0,
             tag: self.step as u16,
         };
         self.check(api, reply);

@@ -44,13 +44,24 @@
 //!   invalidation [`CacheAgent`](cache::CacheAgent)) with a
 //!   write-invalidate or lease consistency protocol driven by the
 //!   server ([`CacheMode`]); `Off` is bit-identical to the pre-cache
-//!   client.
+//!   client;
+//! * [`migrate`] — live file migration between shards: a four-exchange
+//!   drain → copy → commit protocol built from ordinary V exchanges,
+//!   with a destination-side [`MigrationAgent`](migrate::MigrationAgent)
+//!   pulling blocks as plain reads and the old owner `Forward`ing
+//!   stale requests after the flip;
+//! * [`rebalance`] — the policy half: a [`Rebalancer`] process samples
+//!   each shard's decayed [`FileHeat`], and while the hottest shard
+//!   sits outside a configurable band of the mean it issues move-plans
+//!   for the hottest files until the shards converge.
 
 pub mod cache;
 pub mod client;
 pub mod disk;
 pub mod loader;
+pub mod migrate;
 pub mod proto;
+pub mod rebalance;
 pub mod replica;
 pub mod server;
 pub mod shard;
@@ -59,10 +70,14 @@ pub mod team;
 
 pub use cache::{spawn_caching_client, BlockCache, CacheConfig, CacheMode, CacheStats};
 pub use disk::{DiskModel, DiskParams, DiskStats};
+pub use migrate::{spawn_shard_service, ShardService};
 pub use proto::{IoReply, IoRequest, IoStatus};
+pub use rebalance::{
+    spawn_rebalancer, MigrationLedger, MoveRecord, Rebalancer, RebalancerConfig, ShardHandle,
+};
 pub use replica::{spawn_replica, spawn_replica_group, ReplicaReport, ReplicatedFsClient};
-pub use server::{FileHeat, FileServer, FileServerConfig, FileServerStats};
-pub use shard::{spawn_shard_server, ShardMap, ShardedFsClient};
+pub use server::{FileHeat, FileServer, FileServerConfig, FileServerStats, HeatEntry};
+pub use shard::{spawn_shard_server, ShardMap, ShardOverlay, ShardedFsClient};
 pub use store::BlockStore;
 pub use team::{spawn_file_server, FileServerTeam};
 

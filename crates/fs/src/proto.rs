@@ -18,7 +18,7 @@
 //! bytes 2-3   file id
 //! bytes 4-7   block number (requests) / value (replies)
 //! bytes 8-11  byte count
-//! bytes 12-15 client buffer address
+//! bytes 12-15 client buffer address (requests) / replier's service pid (replies)
 //! bytes 16-19 aux (create size; read-large transfer hint)
 //! bytes 20-21 tag (echoed in replies)
 //! ```
@@ -53,6 +53,24 @@ pub enum IoOp {
     /// Server → cache-agent invalidation callback: drop every cached
     /// block of `file`. Answered with a plain `Ok` reply.
     Invalidate = 8,
+    /// Rebalancer → owning server: freeze writes to `file` (drain) so
+    /// its blocks can be copied out. The reply carries the file length
+    /// in `value`, the name length in `aux`, and deposits the name into
+    /// the requester's write-granted buffer — everything the
+    /// destination needs to adopt the file.
+    MigrateBegin = 9,
+    /// Rebalancer → destination migration agent: pull `file` (length in
+    /// `count`) from the old owner (`aux` = its raw service pid, name
+    /// appended as a read-granted segment) block by block with ordinary
+    /// reads. Answered once the copy is complete.
+    MigratePull = 10,
+    /// Rebalancer → old owner: the copy is complete — drop the file and
+    /// forward every later request for it to the new owner (`aux` = the
+    /// new service's raw pid).
+    MigrateCommit = 11,
+    /// Rebalancer → old owner: the copy failed — unfreeze writes, keep
+    /// serving the file.
+    MigrateAbort = 12,
 }
 
 impl IoOp {
@@ -67,6 +85,10 @@ impl IoOp {
             6 => IoOp::ReadLarge,
             7 => IoOp::ReadCached,
             8 => IoOp::Invalidate,
+            9 => IoOp::MigrateBegin,
+            10 => IoOp::MigratePull,
+            11 => IoOp::MigrateCommit,
+            12 => IoOp::MigrateAbort,
             _ => return None,
         })
     }
@@ -88,6 +110,10 @@ pub enum IoStatus {
     Error = 4,
     /// The server is a read-only replica; mutating ops are refused.
     ReadOnly = 5,
+    /// The file is draining for migration: the write is refused without
+    /// side effects and the client should back off briefly and retry —
+    /// the team keeps serving everything else meanwhile.
+    RetryAfter = 6,
 }
 
 impl IoStatus {
@@ -99,6 +125,7 @@ impl IoStatus {
             2 => IoStatus::Exists,
             3 => IoStatus::BadBlock,
             5 => IoStatus::ReadOnly,
+            6 => IoStatus::RetryAfter,
             _ => IoStatus::Error,
         }
     }
@@ -172,9 +199,16 @@ pub struct IoReply {
     /// Operation-dependent value (bytes read/written, file length).
     pub value: u32,
     /// Cacheability grant on `ReadCached` replies: [`CACHE_DENY`],
-    /// [`CACHE_UNTIL_INVALIDATED`], or a lease in microseconds. Zero on
+    /// [`CACHE_UNTIL_INVALIDATED`], or a lease in microseconds. On
+    /// `MigrateBegin` replies, the deposited name's length. Zero on
     /// every other reply (bytes 8–11 are free in the reply layout).
     pub aux: u32,
+    /// Raw pid of the *service* that actually produced this reply (the
+    /// receptionist for a team, the server itself when sequential) — 0
+    /// when unknown. A client whose request was forwarded because the
+    /// file migrated sees an owner different from the pid it targeted
+    /// and corrects its owner cache on the spot.
+    pub owner: u32,
     /// Echo of the request tag.
     pub tag: u16,
 }
@@ -187,6 +221,7 @@ impl IoReply {
         m.set_u16(2, self.file.0);
         m.set_u32(4, self.value);
         m.set_u32(8, self.aux);
+        m.set_u32(12, self.owner);
         m.set_u16(20, self.tag);
         m
     }
@@ -198,6 +233,7 @@ impl IoReply {
             file: FileId(m.get_u16(2)),
             value: m.get_u32(4),
             aux: m.get_u32(8),
+            owner: m.get_u32(12),
             tag: m.get_u16(20),
         }
     }
@@ -228,6 +264,7 @@ mod tests {
             file: FileId(3),
             value: 65536,
             aux: 1_000_000,
+            owner: 0x0003_0007,
             tag: 17,
         };
         assert_eq!(IoReply::decode(&r.encode()), r);
@@ -269,9 +306,17 @@ mod tests {
             IoOp::ReadLarge,
             IoOp::ReadCached,
             IoOp::Invalidate,
+            IoOp::MigrateBegin,
+            IoOp::MigratePull,
+            IoOp::MigrateCommit,
+            IoOp::MigrateAbort,
         ] {
             assert_eq!(IoOp::from_u8(op as u8), Some(op));
         }
         assert_eq!(IoOp::from_u8(0), None);
+        assert_eq!(
+            IoStatus::from_u8(IoStatus::RetryAfter as u8),
+            IoStatus::RetryAfter
+        );
     }
 }

@@ -221,6 +221,7 @@ impl ReplicatedFsClient {
             file: self.file,
             value: data.len() as u32,
             aux: crate::proto::CACHE_DENY,
+            owner: 0,
             tag: self.step as u16,
         };
         self.check(api, reply);

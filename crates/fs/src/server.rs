@@ -121,21 +121,51 @@ impl FileServerConfig {
     }
 }
 
-/// Per-file read/write heat, kept sorted by file id. Groundwork for
-/// dynamic shard rebalancing and the cachemix reporting: which files a
-/// server actually serves, and how hot each one runs.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// One file's heat row: lifetime totals, the current sampling epoch,
+/// and an exponentially decayed score.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HeatEntry {
+    /// The file.
+    pub file: FileId,
+    /// Lifetime reads (page + large + cached).
+    pub reads: u64,
+    /// Lifetime writes.
+    pub writes: u64,
+    /// Reads since the last [`FileHeat::decay`].
+    pub epoch_reads: u64,
+    /// Writes since the last [`FileHeat::decay`].
+    pub epoch_writes: u64,
+    /// Exponentially decayed operation count: `+1` per operation,
+    /// multiplied by the decay factor at each sampling epoch. Recent
+    /// traffic dominates; ancient traffic fades geometrically — the
+    /// rebalancer ranks files by this, so a file that *was* hot last
+    /// minute doesn't get migrated on stale evidence.
+    pub score: f64,
+}
+
+/// Per-file read/write heat, kept sorted by file id — which files a
+/// server actually serves, and how hot each one runs *now*. Lifetime
+/// totals never decay (cachemix reporting); the [`HeatEntry::score`]
+/// and epoch counters age via [`FileHeat::decay`], which the
+/// rebalancer calls once per sampling interval.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FileHeat {
-    /// `(file id, reads, writes)`, sorted by file id.
-    entries: Vec<(u16, u64, u64)>,
+    /// Rows sorted by file id.
+    entries: Vec<HeatEntry>,
 }
 
 impl FileHeat {
-    fn slot(&mut self, file: FileId) -> &mut (u16, u64, u64) {
-        let idx = match self.entries.binary_search_by_key(&file.0, |e| e.0) {
+    fn slot(&mut self, file: FileId) -> &mut HeatEntry {
+        let idx = match self.entries.binary_search_by_key(&file.0, |e| e.file.0) {
             Ok(i) => i,
             Err(i) => {
-                self.entries.insert(i, (file.0, 0, 0));
+                self.entries.insert(
+                    i,
+                    HeatEntry {
+                        file,
+                        ..HeatEntry::default()
+                    },
+                );
                 i
             }
         };
@@ -144,24 +174,52 @@ impl FileHeat {
 
     /// Counts one read (page or large) of `file`.
     pub fn bump_read(&mut self, file: FileId) {
-        self.slot(file).1 += 1;
+        let s = self.slot(file);
+        s.reads += 1;
+        s.epoch_reads += 1;
+        s.score += 1.0;
     }
 
     /// Counts one write of `file`.
     pub fn bump_write(&mut self, file: FileId) {
-        self.slot(file).2 += 1;
+        let s = self.slot(file);
+        s.writes += 1;
+        s.epoch_writes += 1;
+        s.score += 1.0;
     }
 
-    /// `(reads, writes)` served for `file`.
+    /// Lifetime `(reads, writes)` served for `file`.
     pub fn of(&self, file: FileId) -> (u64, u64) {
-        match self.entries.binary_search_by_key(&file.0, |e| e.0) {
-            Ok(i) => (self.entries[i].1, self.entries[i].2),
-            Err(_) => (0, 0),
-        }
+        self.entry(file).map_or((0, 0), |e| (e.reads, e.writes))
     }
 
-    /// All `(file, reads, writes)` rows, sorted by file id.
-    pub fn entries(&self) -> &[(u16, u64, u64)] {
+    /// `(reads, writes)` served for `file` since the last decay — the
+    /// sampled-epoch view a policy process reads between intervals.
+    pub fn epoch_of(&self, file: FileId) -> (u64, u64) {
+        self.entry(file)
+            .map_or((0, 0), |e| (e.epoch_reads, e.epoch_writes))
+    }
+
+    /// The decayed score of `file` (0.0 when unknown).
+    pub fn score_of(&self, file: FileId) -> f64 {
+        self.entry(file).map_or(0.0, |e| e.score)
+    }
+
+    /// Sum of every file's decayed score — the load this server carries
+    /// on the rebalancer's clock.
+    pub fn total_score(&self) -> f64 {
+        self.entries.iter().map(|e| e.score).sum()
+    }
+
+    fn entry(&self, file: FileId) -> Option<&HeatEntry> {
+        self.entries
+            .binary_search_by_key(&file.0, |e| e.file.0)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// All rows, sorted by file id.
+    pub fn entries(&self) -> &[HeatEntry] {
         &self.entries
     }
 
@@ -169,16 +227,45 @@ impl FileHeat {
     pub fn hottest(&self) -> Option<(FileId, u64)> {
         self.entries
             .iter()
-            .map(|&(f, r, w)| (FileId(f), r + w))
+            .map(|e| (e.file, e.reads + e.writes))
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0 .0.cmp(&a.0 .0)))
+    }
+
+    /// Ages every row by one sampling epoch: scores are multiplied by
+    /// `factor` (half-life = `ln 2 / ln(1/factor)` epochs) and the
+    /// epoch counters reset. Lifetime totals are untouched.
+    pub fn decay(&mut self, factor: f64) {
+        for e in &mut self.entries {
+            e.score *= factor;
+            e.epoch_reads = 0;
+            e.epoch_writes = 0;
+        }
+    }
+
+    /// Removes and returns `file`'s row — the releasing half of moving
+    /// a file's heat along with its blocks during migration.
+    pub fn take(&mut self, file: FileId) -> Option<HeatEntry> {
+        match self.entries.binary_search_by_key(&file.0, |e| e.file.0) {
+            Ok(i) => Some(self.entries.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Grafts a row taken from another server's heat table (merging if
+    /// the file already has local history).
+    pub fn graft(&mut self, row: HeatEntry) {
+        let s = self.slot(row.file);
+        s.reads += row.reads;
+        s.writes += row.writes;
+        s.epoch_reads += row.epoch_reads;
+        s.epoch_writes += row.epoch_writes;
+        s.score += row.score;
     }
 
     /// Folds another heat table into this one (team aggregation).
     pub fn absorb(&mut self, other: &FileHeat) {
-        for &(f, r, w) in &other.entries {
-            let s = self.slot(FileId(f));
-            s.1 += r;
-            s.2 += w;
+        for &row in &other.entries {
+            self.graft(row);
         }
     }
 }
@@ -213,6 +300,18 @@ pub struct FileServerStats {
     pub invalidation_failures: u64,
     /// Writes that waited out at least one unexpired lease.
     pub lease_waits: u64,
+    /// Requests that arrived for a file this service no longer owns
+    /// (it migrated away) and were `Forward`ed to the new owner. Each
+    /// such request completes exactly once — at the new owner, which
+    /// replies to the client directly.
+    pub moved_forwards: u64,
+    /// Writes refused with [`IoStatus::RetryAfter`] because the target
+    /// file was draining for migration.
+    pub drain_write_refusals: u64,
+    /// Files this service released to another shard (migration commit).
+    pub migrated_out: u64,
+    /// Files this service adopted from another shard (copy completed).
+    pub migrated_in: u64,
     /// Per-file read/write heat across every request class.
     pub heat: FileHeat,
     /// The shared disk's queueing counters — aggregated across every
@@ -243,6 +342,55 @@ pub(crate) struct FileHolders {
     write_pending: u32,
 }
 
+/// Live-migration bookkeeping one server team shares (see
+/// [`crate::migrate`] for the mechanism and [`crate::rebalance`] for
+/// the policy that drives it).
+#[derive(Debug, Default)]
+pub(crate) struct MigrationTable {
+    /// Files frozen for copy-out: writes are refused with
+    /// [`IoStatus::RetryAfter`] (reads keep flowing — the frozen image
+    /// is exactly what the destination is copying).
+    pub(crate) draining: std::collections::HashSet<u16>,
+    /// Writes currently between dispatch and commit, per file — a
+    /// `MigrateBegin` is refused (retry-after) while nonzero, so the
+    /// copied image can never miss a write that was already in flight
+    /// past the drain check on another worker.
+    pub(crate) inflight_writes: HashMap<u16, u32>,
+    /// file id → the service now owning it (commit flipped ownership).
+    pub(crate) moved: HashMap<u16, Pid>,
+    /// file name → new owner, for `Open`s arriving by name.
+    pub(crate) moved_names: HashMap<String, Pid>,
+}
+
+impl MigrationTable {
+    fn note_write_begin(&mut self, file: FileId) {
+        *self.inflight_writes.entry(file.0).or_insert(0) += 1;
+    }
+
+    fn note_write_end(&mut self, file: FileId) {
+        if let Some(n) = self.inflight_writes.get_mut(&file.0) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.inflight_writes.remove(&file.0);
+            }
+        }
+    }
+
+    fn writes_in_flight(&self, file: FileId) -> bool {
+        self.inflight_writes.get(&file.0).copied().unwrap_or(0) > 0
+    }
+
+    /// Where a request for `file` should go instead, if anywhere.
+    pub(crate) fn redirect_for(&self, file: FileId) -> Option<Pid> {
+        self.moved.get(&file.0).copied()
+    }
+
+    /// Where an open of `name` should go instead, if anywhere.
+    pub(crate) fn redirect_for_name(&self, name: &str) -> Option<Pid> {
+        self.moved_names.get(name).copied()
+    }
+}
+
 /// State one server team shares: the block store, the disk unit (one
 /// arm or a striped set), the stats block and the read-ahead slot. The
 /// sequential server owns a private copy of the same structure, so its
@@ -258,6 +406,9 @@ pub(crate) struct SharedServerState {
     /// Cache holders per file id — team-shared so any worker's write
     /// invalidates holders registered through any other worker.
     pub(crate) holders: Rc<RefCell<HashMap<u16, FileHolders>>>,
+    /// Migration state — team-shared so a drain set by one worker
+    /// refuses writes dispatched through any other worker.
+    pub(crate) migration: Rc<RefCell<MigrationTable>>,
 }
 
 impl SharedServerState {
@@ -268,6 +419,7 @@ impl SharedServerState {
             stats: Default::default(),
             prefetch: Default::default(),
             holders: Default::default(),
+            migration: Default::default(),
         }
     }
 }
@@ -294,6 +446,10 @@ struct Current {
     from: Pid,
     req: IoRequest,
     seg_len: u32,
+    /// The raw message as received — kept so a request for a migrated
+    /// file can be `Forward`ed to the new owner verbatim, appended
+    /// write data and all.
+    msg: Message,
 }
 
 /// The file-server program.
@@ -377,9 +533,20 @@ impl FileServer {
         }
     }
 
+    /// The pid clients know this service by: the receptionist for a
+    /// team worker, the server itself when sequential — stamped into
+    /// every reply's `owner` so a client whose request was forwarded
+    /// can correct its owner cache.
+    fn service_pid(&self, api: &Api<'_>) -> Pid {
+        self.notify.unwrap_or_else(|| api.self_pid())
+    }
+
     fn reply_status(&mut self, api: &mut Api<'_>, status: IoStatus, value: u32, file: FileId) {
+        let owner = self.service_pid(api).raw();
         let cur = self.current.as_ref().expect("request in progress");
-        if status != IoStatus::Ok {
+        // Retry-after is back-pressure, not failure: the client retries
+        // and the operation still completes exactly once.
+        if status != IoStatus::Ok && status != IoStatus::RetryAfter {
             self.shared.stats.borrow_mut().errors += 1;
         }
         let reply = IoReply {
@@ -387,6 +554,7 @@ impl FileServer {
             file,
             value,
             aux: 0,
+            owner,
             tag: cur.req.tag,
         }
         .encode();
@@ -399,6 +567,7 @@ impl FileServer {
             StoreError::NotFound => IoStatus::NotFound,
             StoreError::Exists => IoStatus::Exists,
             StoreError::BadBlock => IoStatus::BadBlock,
+            StoreError::Full => IoStatus::Error,
         }
     }
 
@@ -570,22 +739,72 @@ impl FileServer {
         }
     }
 
+    /// Hands the current request — still carrying the client's reply
+    /// obligation and any appended/granted segments — to the service
+    /// that owns the file now. The new owner serves it and replies to
+    /// the client directly; this server goes back to its queue.
+    fn forward_to_owner(&mut self, api: &mut Api<'_>, new_owner: Pid) {
+        let cur = self.current.as_ref().expect("request in progress");
+        let (msg, from, file) = (cur.msg, cur.from, cur.req.file);
+        match api.forward(msg, from, new_owner) {
+            Ok(()) => {
+                self.shared.stats.borrow_mut().moved_forwards += 1;
+                self.rearm(api);
+            }
+            // The new owner is unreachable: fail the request back to
+            // the client rather than leaving it blocked — its own
+            // failover logic takes it from there.
+            Err(_) => self.reply_status(api, IoStatus::Error, 0, file),
+        }
+    }
+
     /// Dispatch after the fs-processing charge.
     fn dispatch(&mut self, api: &mut Api<'_>) {
         let cur = self.current.as_ref().expect("request in progress");
         let req = cur.req;
         let seg_len = cur.seg_len;
+        // A request addressed (by id) to a file that migrated away is
+        // forwarded to its new owner — stale owner caches self-correct
+        // off the reply's `owner` stamp. Opens (by name) check the
+        // moved-names side of the table in their own arm below.
+        if !matches!(req.op, IoOp::Open | IoOp::Create | IoOp::Invalidate) {
+            let moved = self.shared.migration.borrow().redirect_for(req.file);
+            if let Some(new_owner) = moved {
+                self.forward_to_owner(api, new_owner);
+                return;
+            }
+        }
         if self.cfg.read_only && matches!(req.op, IoOp::Create | IoOp::Write) {
             // Refused before any side effect: the store, the disk queue
             // and the read-ahead slot are untouched.
             self.reply_status(api, IoStatus::ReadOnly, 0, req.file);
             return;
         }
+        if req.op == IoOp::Write
+            && self
+                .shared
+                .migration
+                .borrow()
+                .draining
+                .contains(&req.file.0)
+        {
+            // The file is frozen for copy-out. Refuse without side
+            // effects — the client backs off and retries, and the team
+            // keeps serving everything else meanwhile.
+            self.shared.stats.borrow_mut().drain_write_refusals += 1;
+            self.reply_status(api, IoStatus::RetryAfter, 0, req.file);
+            return;
+        }
         match req.op {
             IoOp::Open => {
-                self.shared.stats.borrow_mut().meta += 1;
                 let name_bytes = api.mem_read(SRV_IN, seg_len as usize).expect("in buffer");
                 let name = String::from_utf8_lossy(&name_bytes).into_owned();
+                let moved = self.shared.migration.borrow().redirect_for_name(&name);
+                if let Some(new_owner) = moved {
+                    self.forward_to_owner(api, new_owner);
+                    return;
+                }
+                self.shared.stats.borrow_mut().meta += 1;
                 let opened = self.shared.store.borrow().open(&name);
                 match opened {
                     Ok(id) => {
@@ -648,6 +867,10 @@ impl FileServer {
                 api.delay(done.since(api.now()));
             }
             IoOp::Write => {
+                self.shared
+                    .migration
+                    .borrow_mut()
+                    .note_write_begin(req.file);
                 let count = req.count.min(BLOCK_SIZE as u32);
                 if seg_len < count {
                     // The appended prefix didn't cover the block: pull
@@ -672,6 +895,126 @@ impl FileServer {
             // Invalidate is a server→agent callback; a server receiving
             // one is a protocol error.
             IoOp::Invalidate => self.reply_status(api, IoStatus::Error, 0, req.file),
+            IoOp::MigrateBegin => self.serve_migrate_begin(api, &req),
+            IoOp::MigrateCommit => self.serve_migrate_commit(api, &req),
+            IoOp::MigrateAbort => {
+                // Copy failed: unfreeze and keep serving the file.
+                self.shared.stats.borrow_mut().meta += 1;
+                let dropped = self
+                    .shared
+                    .migration
+                    .borrow_mut()
+                    .draining
+                    .remove(&req.file.0);
+                let status = if dropped {
+                    IoStatus::Ok
+                } else {
+                    IoStatus::NotFound
+                };
+                self.reply_status(api, status, 0, req.file);
+            }
+            // Pull is addressed to a destination's migration agent
+            // ([`crate::migrate`]); a file server receiving one is a
+            // protocol error.
+            IoOp::MigratePull => self.reply_status(api, IoStatus::Error, 0, req.file),
+        }
+    }
+
+    /// `MigrateBegin`: freeze writes to the file and hand the
+    /// rebalancer everything the destination needs to adopt it — the
+    /// length (reply `value`), and the name, deposited into the
+    /// requester's write-granted buffer (length in reply `aux`).
+    fn serve_migrate_begin(&mut self, api: &mut Api<'_>, req: &IoRequest) {
+        if self.shared.migration.borrow().writes_in_flight(req.file) {
+            // A write already passed the drain check on another worker:
+            // freezing now could snapshot a torn image. Back off.
+            self.reply_status(api, IoStatus::RetryAfter, 0, req.file);
+            return;
+        }
+        let info = {
+            let store = self.shared.store.borrow();
+            store
+                .len(req.file)
+                .and_then(|len| store.name(req.file).map(|n| (len, n.to_string())))
+        };
+        match info {
+            Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+            Ok((len, name)) => {
+                self.shared
+                    .migration
+                    .borrow_mut()
+                    .draining
+                    .insert(req.file.0);
+                self.shared.stats.borrow_mut().meta += 1;
+                let owner = self.service_pid(api).raw();
+                let cur = self.current.as_ref().expect("request in progress");
+                let n = name.len() as u32;
+                api.mem_write(SRV_OUT, name.as_bytes())
+                    .expect("staging fits");
+                let reply = IoReply {
+                    status: IoStatus::Ok,
+                    file: req.file,
+                    value: len as u32,
+                    aux: n,
+                    owner,
+                    tag: req.tag,
+                }
+                .encode();
+                if api
+                    .reply_with_segment(reply, cur.from, req.buffer, SRV_OUT, n)
+                    .is_err()
+                {
+                    // The rebalancer died mid-handshake: nobody will
+                    // commit or abort this drain, so lift it here.
+                    self.shared
+                        .migration
+                        .borrow_mut()
+                        .draining
+                        .remove(&req.file.0);
+                    self.shared.stats.borrow_mut().errors += 1;
+                }
+                self.rearm(api);
+            }
+        }
+    }
+
+    /// `MigrateCommit`: the destination holds a complete copy — drop
+    /// the local file and forward every later request for it (by id or
+    /// name) to the new owner (`aux` = its raw service pid).
+    fn serve_migrate_commit(&mut self, api: &mut Api<'_>, req: &IoRequest) {
+        let Some(new_owner) = Pid::from_raw(req.aux) else {
+            self.reply_status(api, IoStatus::Error, 0, req.file);
+            return;
+        };
+        let name = {
+            let store = self.shared.store.borrow();
+            store.name(req.file).map(|n| n.to_string())
+        };
+        match name {
+            Err(e) => self.reply_status(api, Self::store_status(e), 0, req.file),
+            Ok(name) => {
+                self.shared
+                    .store
+                    .borrow_mut()
+                    .remove(req.file)
+                    .expect("name() just found it");
+                {
+                    let mut mig = self.shared.migration.borrow_mut();
+                    mig.draining.remove(&req.file.0);
+                    mig.moved.insert(req.file.0, new_owner);
+                    mig.moved_names.insert(name, new_owner);
+                }
+                // Cache holders of the file are released: the new owner
+                // starts with a clean registry and clients re-register
+                // on their next (forwarded) cached read.
+                self.shared.holders.borrow_mut().remove(&req.file.0);
+                {
+                    let mut st = self.shared.stats.borrow_mut();
+                    st.meta += 1;
+                    st.migrated_out += 1;
+                }
+                self.reply_status(api, IoStatus::Ok, 0, req.file);
+            }
         }
     }
 
@@ -696,6 +1039,7 @@ impl FileServer {
                     file: req.file,
                     value: n,
                     aux: self.read_grant(api.now(), &req),
+                    owner: self.service_pid(api).raw(),
                     tag: req.tag,
                 }
                 .encode();
@@ -729,6 +1073,7 @@ impl FileServer {
     fn serve_write(&mut self, api: &mut Api<'_>) {
         let cur = self.current.as_ref().expect("request in progress");
         let req = cur.req;
+        self.shared.migration.borrow_mut().note_write_end(req.file);
         let count = req.count.min(BLOCK_SIZE as u32);
         let data = api.mem_read(SRV_IN, count as usize).expect("in buffer");
         let wrote = self
@@ -786,11 +1131,17 @@ impl Program for FileServer {
                             tag: msg.get_u16(20),
                         },
                         seg_len: 0,
+                        msg,
                     });
                     self.reply_status(api, IoStatus::Error, 0, FileId(0));
                     return;
                 };
-                self.current = Some(Current { from, req, seg_len });
+                self.current = Some(Current {
+                    from,
+                    req,
+                    seg_len,
+                    msg,
+                });
                 self.phase = Phase::FsWork;
                 api.compute(self.cfg.fs_cpu);
             }
@@ -868,6 +1219,12 @@ impl Program for FileServer {
                 _ => self.rearm(api),
             },
             Outcome::Move(Err(_)) => {
+                if matches!(self.phase, Phase::FetchRest { .. }) {
+                    // The write's data pull failed: it will never reach
+                    // serve_write, so balance the in-flight marker here.
+                    let file = self.current.as_ref().expect("in progress").req.file;
+                    self.shared.migration.borrow_mut().note_write_end(file);
+                }
                 self.shared.stats.borrow_mut().errors += 1;
                 self.reply_status(api, IoStatus::Error, 0, FileId(0));
             }
@@ -893,5 +1250,71 @@ impl Program for FileServer {
             }
             _ => api.exit(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decay ages the score geometrically and resets the epoch window,
+    /// while lifetime totals never shrink.
+    #[test]
+    fn heat_decay_ages_scores_and_resets_epochs() {
+        let mut heat = FileHeat::default();
+        let f = FileId(7);
+        for _ in 0..6 {
+            heat.bump_read(f);
+        }
+        for _ in 0..2 {
+            heat.bump_write(f);
+        }
+        assert_eq!(heat.of(f), (6, 2));
+        assert_eq!(heat.epoch_of(f), (6, 2));
+        assert_eq!(heat.score_of(f), 8.0);
+
+        heat.decay(0.5);
+        assert_eq!(heat.of(f), (6, 2), "lifetime totals survive decay");
+        assert_eq!(heat.epoch_of(f), (0, 0), "epoch window resets");
+        assert_eq!(heat.score_of(f), 4.0, "score halves");
+
+        // A quiet file fades geometrically toward zero...
+        heat.decay(0.5);
+        heat.decay(0.5);
+        assert_eq!(heat.score_of(f), 1.0);
+
+        // ...while fresh traffic immediately outweighs old history.
+        let g = FileId(9);
+        for _ in 0..3 {
+            heat.bump_read(g);
+        }
+        assert!(heat.score_of(g) > heat.score_of(f));
+        assert_eq!(heat.total_score(), 4.0);
+        assert_eq!(heat.epoch_of(g), (3, 0));
+    }
+
+    /// `take` + `graft` carries a row between tables without losing
+    /// operations — the heat transfer that rides each migration.
+    #[test]
+    fn heat_take_and_graft_conserve_history() {
+        let mut src = FileHeat::default();
+        let mut dst = FileHeat::default();
+        let f = FileId(3);
+        for _ in 0..5 {
+            src.bump_read(f);
+        }
+        src.decay(0.5); // score 2.5, epochs reset, totals 5 reads
+
+        let row = src.take(f).expect("row exists");
+        assert_eq!(src.score_of(f), 0.0, "taken row leaves no residue");
+        assert!(src.take(f).is_none(), "second take finds nothing");
+
+        // The destination already served the file once (a pulled copy
+        // read would do this): grafting merges, not overwrites.
+        dst.bump_read(f);
+        dst.graft(row);
+        assert_eq!(dst.of(f), (6, 0));
+        assert_eq!(dst.score_of(f), 3.5);
+        assert_eq!(dst.hottest(), Some((f, 6)));
     }
 }

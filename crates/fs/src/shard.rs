@@ -48,6 +48,10 @@ impl ShardMap {
     /// A map over `shards` servers.
     pub fn new(shards: usize) -> ShardMap {
         assert!(shards >= 1, "a shard map needs at least one shard");
+        assert!(
+            shards <= (u16::MAX as usize) + 1,
+            "{shards} shards cannot get disjoint file-id ranges from a 16-bit id space"
+        );
         ShardMap { shards }
     }
 
@@ -72,14 +76,35 @@ impl ShardMap {
         SHARD_LOGICAL_BASE + shard as u32
     }
 
+    /// Width of each shard's disjoint file-id range:
+    /// [`BlockStore::MAX_FILES`] for up to 16 shards (bit-identical to
+    /// the historical fixed-width layout), narrowed to the largest
+    /// power of two that still fits `shards` disjoint ranges into the
+    /// 16-bit id space beyond that — the old hard 16-shard ceiling is
+    /// gone. [`ShardMap::new`] rejects maps the id space cannot hold at
+    /// all.
+    pub fn id_range_width(&self) -> usize {
+        let fit = ((u16::MAX as usize) + 1) / self.shards;
+        debug_assert!(fit >= 1, "ShardMap::new caps shards at 65536");
+        let pow2 = 1usize << (usize::BITS - 1 - fit.leading_zeros());
+        pow2.min(BlockStore::MAX_FILES)
+    }
+
     /// The file-id base shard `i`'s [`BlockStore`] should allocate from
-    /// ([`BlockStore::with_id_base`]): disjoint [`BlockStore::MAX_FILES`]
-    /// wide ranges, so a file id never collides across shards and the
-    /// owner cache in [`ShardedFsClient`] stays sound.
+    /// ([`BlockStore::with_id_range`], width
+    /// [`ShardMap::id_range_width`]): disjoint ranges, so a file id
+    /// never collides across shards and the owner cache in
+    /// [`ShardedFsClient`] stays sound.
     pub fn id_base(&self, shard: usize) -> u16 {
         assert!(shard < self.shards, "shard {shard} of {}", self.shards);
-        assert!(self.shards <= 16, "id ranges cover at most 16 shards");
-        (shard * BlockStore::MAX_FILES) as u16
+        (shard * self.id_range_width()) as u16
+    }
+
+    /// The shard whose id range holds `file` — the inverse of
+    /// [`ShardMap::id_base`], clamped into range for ids beyond the
+    /// last shard's allocation.
+    pub fn shard_of_id(&self, file: FileId) -> usize {
+        (file.0 as usize / self.id_range_width()).min(self.shards - 1)
     }
 
     /// A file name that hashes to `shard`: `stem` plus the smallest
@@ -91,6 +116,53 @@ impl ShardMap {
             .map(|i| format!("{stem}.{i}"))
             .find(|name| self.shard_of_name(name) == shard)
             .expect("some suffix hashes to every shard")
+    }
+}
+
+/// Per-file placement overrides layered over a [`ShardMap`]: the
+/// authoritative record of every migration the rebalancer has
+/// committed, consulted *before* the name hash / id range when a
+/// client routes a request.
+///
+/// Shared (`Rc<RefCell<…>>`) between the [`crate::rebalance::Rebalancer`]
+/// that writes it and the [`ShardedFsClient`]s that read it. A client
+/// without the overlay still works — its stale request reaches the old
+/// owner, which `Forward`s it to the new one and the reply's `owner`
+/// stamp corrects the client's cache — the overlay just skips that
+/// extra hop for files it knows about, and is the failover route when
+/// the old owner is dead and can no longer forward anything.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOverlay {
+    by_id: HashMap<u16, Pid>,
+    by_name: HashMap<String, Pid>,
+}
+
+impl ShardOverlay {
+    /// An empty overlay (every file still lives where the hash put it).
+    pub fn new() -> ShardOverlay {
+        ShardOverlay::default()
+    }
+
+    /// Records a committed migration: `file` (named `name`) is now
+    /// served by `new_owner`. Later moves of the same file overwrite.
+    pub fn record_move(&mut self, file: FileId, name: &str, new_owner: Pid) {
+        self.by_id.insert(file.0, new_owner);
+        self.by_name.insert(name.to_string(), new_owner);
+    }
+
+    /// The overriding owner of `file`, if it has migrated.
+    pub fn owner_of_id(&self, file: FileId) -> Option<Pid> {
+        self.by_id.get(&file.0).copied()
+    }
+
+    /// The overriding owner of `name`, if it has migrated.
+    pub fn owner_of_name(&self, name: &str) -> Option<Pid> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of files with overridden placement.
+    pub fn moves(&self) -> usize {
+        self.by_id.len()
     }
 }
 
@@ -140,14 +212,42 @@ pub struct ShardedFsClient {
     pub report: std::rc::Rc<std::cell::RefCell<FsClientReport>>,
     step: usize,
     file: FileId,
-    /// Owning server per file id, filled from open/create replies.
+    /// Owning server per file id, filled from open/create replies and
+    /// self-corrected from the `owner` stamp on forwarded replies.
     owner_of: HashMap<u16, Pid>,
     /// Server the in-flight request went to.
     target: Option<Pid>,
     started: Option<v_sim::SimTime>,
     cache: Option<crate::cache::CacheLayer>,
     pending_hit: Option<Vec<u8>>,
+    /// Committed-migration placement overrides, shared with the
+    /// rebalancer (see [`ShardOverlay`]).
+    overlay: Option<std::rc::Rc<std::cell::RefCell<ShardOverlay>>>,
+    /// A `RetryAfter` backoff is in flight for the current step.
+    pending_retry: bool,
+    /// Retries already burned on the current step.
+    retries_this_step: u32,
+    /// Consecutive `Send` failures (dead-host failover bookkeeping).
+    consecutive_failures: usize,
 }
+
+/// First backoff before re-issuing a write refused with
+/// [`crate::proto::IoStatus::RetryAfter`] — roughly one block copy of
+/// drain time; a healthy migration only freezes a file for a handful
+/// of these. The backoff doubles per refusal up to
+/// [`RETRY_BACKOFF_CAP_SHIFT`] doublings, so a drain stuck behind the
+/// kernel's host-down detection (seconds, not milliseconds, when the
+/// copy destination crashes mid-pull) is ridden out rather than
+/// declared an error.
+const RETRY_BACKOFF: v_sim::SimDuration = v_sim::SimDuration::from_millis(2);
+/// Doublings of [`RETRY_BACKOFF`] before the backoff plateaus (2 ms →
+/// 64 ms).
+const RETRY_BACKOFF_CAP_SHIFT: u32 = 5;
+/// Retries per step before the client gives up and counts an error.
+/// With the plateaued backoff this spans several seconds — past the
+/// worst-case abort latency — so a drain that outlives it is a stuck
+/// migration, not back-pressure.
+const MAX_RETRIES_PER_STEP: u32 = 64;
 
 impl ShardedFsClient {
     /// A client with the shard servers' pids supplied directly.
@@ -169,6 +269,10 @@ impl ShardedFsClient {
             started: None,
             cache: None,
             pending_hit: None,
+            overlay: None,
+            pending_retry: false,
+            retries_this_step: 0,
+            consecutive_failures: 0,
         }
     }
 
@@ -194,7 +298,22 @@ impl ShardedFsClient {
             started: None,
             cache: None,
             pending_hit: None,
+            overlay: None,
+            pending_retry: false,
+            retries_this_step: 0,
+            consecutive_failures: 0,
         }
+    }
+
+    /// Attaches the shared placement overlay: committed migrations are
+    /// routed directly (no forwarding hop), and block operations can
+    /// fail over to a file's new owner when the old one is dead.
+    pub fn with_overlay(
+        mut self,
+        overlay: std::rc::Rc<std::cell::RefCell<ShardOverlay>>,
+    ) -> ShardedFsClient {
+        self.overlay = Some(overlay);
+        self
     }
 
     /// Attaches a block cache to the read path. Cached blocks are keyed
@@ -213,15 +332,23 @@ impl ShardedFsClient {
     }
 
     /// The server a block operation on the current file should go to:
-    /// the cached owner, or — when the cache is cold (an open failed,
-    /// or a script skipped its open) — the shard the file id's range
-    /// belongs to ([`ShardMap::id_base`] allocates disjoint ranges), so
-    /// a bad script degrades to a server-side error, never a panic.
+    /// the cached owner; else the shared overlay (a committed migration
+    /// the rebalancer recorded); else — when both are cold (an open
+    /// failed, or a script skipped its open) — the shard the file id's
+    /// range belongs to ([`ShardMap::id_base`] allocates disjoint
+    /// ranges), so a bad script degrades to a server-side error, never
+    /// a panic. Cached-owner-first keeps the non-migrating path
+    /// bit-identical to the overlay-less client.
     fn owner_for_current_file(&self) -> Pid {
-        self.owner_of.get(&self.file.0).copied().unwrap_or_else(|| {
-            let shard = (self.file.0 as usize / BlockStore::MAX_FILES).min(self.map.shards() - 1);
-            self.servers()[shard]
-        })
+        self.owner_of
+            .get(&self.file.0)
+            .copied()
+            .or_else(|| {
+                self.overlay
+                    .as_ref()
+                    .and_then(|o| o.borrow().owner_of_id(self.file))
+            })
+            .unwrap_or_else(|| self.servers()[self.map.shard_of_id(self.file)])
     }
 
     fn issue(&mut self, api: &mut Api<'_>) {
@@ -245,9 +372,11 @@ impl ShardedFsClient {
             cache_agent = Some(layer.agent_aux());
         }
         let owner = match &call {
-            FsCall::Open(name) | FsCall::Create(name, _) => {
-                self.servers()[self.map.shard_of_name(name)]
-            }
+            FsCall::Open(name) | FsCall::Create(name, _) => self
+                .overlay
+                .as_ref()
+                .and_then(|o| o.borrow().owner_of_name(name))
+                .unwrap_or_else(|| self.servers()[self.map.shard_of_name(name)]),
             _ => self.owner_for_current_file(),
         };
         self.target = Some(owner);
@@ -263,6 +392,20 @@ impl ShardedFsClient {
             // goes straight to the server that answered the open.
             self.owner_of
                 .insert(opened.0, self.target.expect("request in flight"));
+        }
+        // Owner-cache self-correction: a reply stamped by a different
+        // service than we targeted means the request chased a migrated
+        // file through a `Forward` — point the cache at the service
+        // that actually answered, so the next op skips the hop.
+        if let Some(actual) = Pid::from_raw(reply.owner) {
+            if self.target.is_some_and(|t| t != actual) {
+                rep.stale_owner_forwards += 1;
+                let key = match &call {
+                    FsCall::Open(_) | FsCall::Create(_, _) => reply.file.0,
+                    _ => self.file.0,
+                };
+                self.owner_of.insert(key, actual);
+            }
         }
         drop(rep);
         if let Some(layer) = self.cache.as_mut() {
@@ -280,6 +423,7 @@ impl ShardedFsClient {
             file: self.file,
             value: data.len() as u32,
             aux: crate::proto::CACHE_DENY,
+            owner: 0,
             tag: self.step as u16,
         };
         self.check(api, reply);
@@ -316,16 +460,52 @@ impl Program for ShardedFsClient {
                 }
             }
             Outcome::Send(Ok(reply)) => {
+                self.consecutive_failures = 0;
                 let reply = IoReply::decode(&reply);
-                self.check(api, reply);
+                if reply.status == crate::proto::IoStatus::RetryAfter {
+                    // The file is draining for migration: back off and
+                    // re-issue the same step. Not a failure — the op
+                    // still completes exactly once, at whichever owner
+                    // holds the file by then.
+                    if self.retries_this_step < MAX_RETRIES_PER_STEP {
+                        let shift = self.retries_this_step.min(RETRY_BACKOFF_CAP_SHIFT);
+                        self.retries_this_step += 1;
+                        self.report.borrow_mut().write_retries += 1;
+                        self.pending_retry = true;
+                        api.delay(RETRY_BACKOFF * (1u64 << shift));
+                        return;
+                    }
+                    // Stuck drain: record the failure and move on.
+                    self.report.borrow_mut().errors += 1;
+                } else {
+                    self.check(api, reply);
+                }
+                self.retries_this_step = 0;
                 self.step += 1;
                 self.issue(api);
             }
             Outcome::Send(Err(_)) => {
-                self.report.borrow_mut().errors += 1;
-                api.exit();
+                // The targeted server's host is down. Drop the stale
+                // owner-cache entry and re-issue the same step — the
+                // overlay (or the id-range fallback) routes it to the
+                // file's current owner. Bounded: after `2 × shards`
+                // consecutive dead ends, give up on the script.
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= 2 * self.map.shards().max(1) {
+                    self.report.borrow_mut().errors += 1;
+                    api.exit();
+                    return;
+                }
+                self.report.borrow_mut().owner_failovers += 1;
+                self.owner_of.remove(&self.file.0);
+                self.issue(api);
+            }
+            Outcome::Delay if self.pending_retry => {
+                self.pending_retry = false;
+                self.issue(api);
             }
             Outcome::Compute if self.pending_hit.is_some() => {
+                self.consecutive_failures = 0;
                 let data = self.pending_hit.take().expect("hit in flight");
                 self.finish_hit(api, data);
             }

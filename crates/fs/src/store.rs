@@ -1,11 +1,11 @@
 //! The server's block store and flat directory.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::BLOCK_SIZE;
 
 /// A file identifier, as carried in I/O protocol messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct FileId(pub u16);
 
 /// Errors from the store.
@@ -17,6 +17,11 @@ pub enum StoreError {
     Exists,
     /// Block index beyond the end of the file.
     BadBlock,
+    /// The store's id range is exhausted: creating one more file would
+    /// hand out an id from another shard's range. A named error rather
+    /// than silent wraparound — the caller decides whether to refuse
+    /// the create or re-shard.
+    Full,
 }
 
 #[derive(Debug, Clone)]
@@ -28,21 +33,50 @@ struct File {
 /// An in-memory block store with a flat name directory — the file
 /// server's filesystem state (the paper's servers expose UNIX files; the
 /// protocol only ever addresses (file id, block index) pairs).
-#[derive(Debug, Clone, Default)]
+///
+/// Ids come in two populations:
+///
+/// * **Native** ids, allocated sequentially from the store's own
+///   `[id_base, id_base + capacity)` range. Removing a native file
+///   leaves a tombstone — the slot is never reallocated, so a stale
+///   client id can only miss, never alias a different file.
+/// * **Adopted** ids, grafted in by live migration with
+///   [`BlockStore::adopt`]: a file that kept the id its original shard
+///   allocated, now served here. Adopted ids live outside the native
+///   range (or in a tombstoned native slot, when a file migrates back
+///   home).
+#[derive(Debug, Clone)]
 pub struct BlockStore {
-    files: Vec<File>,
+    files: Vec<Option<File>>,
+    /// Files adopted from other stores, keyed by their foreign raw id.
+    adopted: BTreeMap<u16, File>,
     by_name: HashMap<String, FileId>,
     /// All ids this store hands out are offset by this base, so stores
     /// on different servers (file-service shards) never allocate the
     /// same id — a file id identifies its owner cluster-wide.
     id_base: u16,
+    /// Width of the native id range.
+    capacity: usize,
+}
+
+impl Default for BlockStore {
+    fn default() -> BlockStore {
+        BlockStore {
+            files: Vec::new(),
+            adopted: BTreeMap::new(),
+            by_name: HashMap::new(),
+            id_base: 0,
+            capacity: Self::MAX_FILES,
+        }
+    }
 }
 
 impl BlockStore {
-    /// Largest number of files one store may hold. Ids are allocated
-    /// from disjoint `MAX_FILES`-wide ranges per store, so in a sharded
-    /// deployment a file id identifies its owning store cluster-wide —
-    /// [`BlockStore::create`] enforces the range.
+    /// Default width of a store's native id range. Sharded deployments
+    /// give each store a disjoint range ([`BlockStore::with_id_range`]
+    /// picks other widths); [`BlockStore::create`] reports
+    /// [`StoreError::Full`] at the boundary instead of aliasing a
+    /// neighbour's ids.
     pub const MAX_FILES: usize = 4096;
 
     /// Creates an empty store.
@@ -65,26 +99,42 @@ impl BlockStore {
         }
     }
 
-    /// Creates a file with `size` zeroed bytes.
+    /// Creates an empty store over the explicit native id range
+    /// `[base, base + capacity)` — how wide deployments (more than 16
+    /// shards) squeeze disjoint ranges into the 16-bit id space.
     ///
     /// # Panics
     ///
-    /// Panics when the store's [`BlockStore::MAX_FILES`] id range is
+    /// Panics when the range overflows the 16-bit id space or is empty.
+    pub fn with_id_range(base: u16, capacity: usize) -> BlockStore {
+        assert!(capacity > 0, "a store needs a non-empty id range");
+        assert!(
+            base as usize + capacity <= (u16::MAX as usize) + 1,
+            "id range [{base:#06x}, {base:#06x}+{capacity}) overflows the 16-bit id space"
+        );
+        BlockStore {
+            id_base: base,
+            capacity,
+            ..BlockStore::default()
+        }
+    }
+
+    /// Creates a file with `size` zeroed bytes.
+    ///
+    /// Reports [`StoreError::Full`] when the native id range is
     /// exhausted — overrunning it would alias another shard's ids.
     pub fn create(&mut self, name: &str, size: usize) -> Result<FileId, StoreError> {
         if self.by_name.contains_key(name) {
             return Err(StoreError::Exists);
         }
-        assert!(
-            self.files.len() < Self::MAX_FILES,
-            "store full: {} files — ids per store are capped so shard id ranges stay disjoint",
-            Self::MAX_FILES
-        );
+        if self.files.len() >= self.capacity {
+            return Err(StoreError::Full);
+        }
         let id = FileId(self.id_base + self.files.len() as u16);
-        self.files.push(File {
+        self.files.push(Some(File {
             name: name.to_string(),
             data: vec![0; size],
-        });
+        }));
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -92,10 +142,45 @@ impl BlockStore {
     /// Creates a file with the given contents.
     pub fn create_with(&mut self, name: &str, data: &[u8]) -> Result<FileId, StoreError> {
         let id = self.create(name, data.len())?;
-        self.files[(id.0 - self.id_base) as usize]
+        self.file_mut(id)
+            .expect("just created")
             .data
             .copy_from_slice(data);
         Ok(id)
+    }
+
+    /// Grafts in a file under an id allocated by *another* store — the
+    /// receiving half of live migration. The file keeps its original id
+    /// (clients' open handles stay valid across the move) and starts as
+    /// `size` zeroed bytes for the copy stream to fill with ordinary
+    /// [`BlockStore::write_block`]s.
+    pub fn adopt(&mut self, id: FileId, name: &str, size: usize) -> Result<(), StoreError> {
+        if self.by_name.contains_key(name) || self.file(id).is_ok() {
+            return Err(StoreError::Exists);
+        }
+        self.adopted.insert(
+            id.0,
+            File {
+                name: name.to_string(),
+                data: vec![0; size],
+            },
+        );
+        self.by_name.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Drops a file — the releasing half of live migration (and the
+    /// reason native slots are tombstoned: the id must keep *missing*,
+    /// not get recycled under a stale client handle).
+    pub fn remove(&mut self, id: FileId) -> Result<(), StoreError> {
+        let name = self.file(id)?.name.clone();
+        self.by_name.remove(&name);
+        if self.adopted.remove(&id.0).is_some() {
+            return Ok(());
+        }
+        let i = self.native_index(id).expect("file() found a native slot");
+        self.files[i] = None;
+        Ok(())
     }
 
     /// Looks a file up by name.
@@ -110,12 +195,12 @@ impl BlockStore {
 
     /// True if the store holds no files.
     pub fn is_empty(&self) -> bool {
-        self.files.is_empty()
+        self.file_count() == 0
     }
 
-    /// Number of files.
+    /// Number of files (native slots still occupied plus adoptees).
     pub fn file_count(&self) -> usize {
-        self.files.len()
+        self.files.iter().filter(|f| f.is_some()).count() + self.adopted.len()
     }
 
     /// A file's name.
@@ -123,19 +208,28 @@ impl BlockStore {
         self.file(id).map(|f| f.name.as_str())
     }
 
-    fn index(&self, id: FileId) -> Result<usize, StoreError> {
+    fn native_index(&self, id: FileId) -> Option<usize> {
         id.0.checked_sub(self.id_base)
             .map(usize::from)
-            .ok_or(StoreError::NotFound)
+            .filter(|&i| i < self.capacity)
     }
 
     fn file(&self, id: FileId) -> Result<&File, StoreError> {
-        self.files.get(self.index(id)?).ok_or(StoreError::NotFound)
+        if let Some(i) = self.native_index(id) {
+            if let Some(Some(f)) = self.files.get(i) {
+                return Ok(f);
+            }
+        }
+        self.adopted.get(&id.0).ok_or(StoreError::NotFound)
     }
 
     fn file_mut(&mut self, id: FileId) -> Result<&mut File, StoreError> {
-        let i = self.index(id)?;
-        self.files.get_mut(i).ok_or(StoreError::NotFound)
+        if let Some(i) = self.native_index(id) {
+            if matches!(self.files.get(i), Some(Some(_))) {
+                return Ok(self.files[i].as_mut().expect("just matched"));
+            }
+        }
+        self.adopted.get_mut(&id.0).ok_or(StoreError::NotFound)
     }
 
     /// True if `block` exists in file `id` — the cheap existence probe
@@ -267,5 +361,64 @@ mod tests {
         let id = s.create_with("h", &[9u8; 100]).unwrap();
         assert_eq!(s.read_range(id, 50, 100).unwrap().len(), 50);
         assert_eq!(s.read_range(id, 101, 1).unwrap_err(), StoreError::BadBlock);
+    }
+
+    #[test]
+    fn exhausted_id_range_is_a_named_error() {
+        let mut s = BlockStore::with_id_range(0x2000, 2);
+        s.create("a", 1).unwrap();
+        s.create("b", 1).unwrap();
+        assert_eq!(s.create("c", 1).unwrap_err(), StoreError::Full);
+        // Removing a file does NOT free its slot: stale ids must keep
+        // missing, never alias a fresh file.
+        s.remove(FileId(0x2000)).unwrap();
+        assert_eq!(s.create("c", 1).unwrap_err(), StoreError::Full);
+    }
+
+    #[test]
+    fn remove_tombstones_without_shifting_ids() {
+        let mut s = BlockStore::new();
+        let a = s.create("a", 512).unwrap();
+        let b = s.create_with("b", &[3u8; 64]).unwrap();
+        s.remove(a).unwrap();
+        assert_eq!(s.len(a).unwrap_err(), StoreError::NotFound);
+        assert_eq!(s.open("a").unwrap_err(), StoreError::NotFound);
+        // `b` keeps its id and data.
+        assert_eq!(s.open("b").unwrap(), b);
+        assert_eq!(s.read_block(b, 0, 64).unwrap(), &[3u8; 64][..]);
+        assert_eq!(s.file_count(), 1);
+    }
+
+    #[test]
+    fn adopt_serves_foreign_ids_and_survives_round_trip() {
+        let mut src = BlockStore::with_id_base(0x1000);
+        let id = src.create_with("hot", &[5u8; 700]).unwrap();
+
+        // Destination adopts the foreign id, fills it block by block.
+        let mut dst = BlockStore::new();
+        dst.adopt(id, "hot", 700).unwrap();
+        for block in 0..2 {
+            let data = src.read_block(id, block, BLOCK_SIZE).unwrap().to_vec();
+            dst.write_block(id, block, &data).unwrap();
+        }
+        assert_eq!(dst.open("hot").unwrap(), id);
+        assert_eq!(dst.read_block(id, 1, 512).unwrap(), &[5u8; 188][..]);
+        assert_eq!(dst.name(id).unwrap(), "hot");
+
+        // Double adoption and name collisions are refused.
+        assert_eq!(dst.adopt(id, "hot2", 1).unwrap_err(), StoreError::Exists);
+        dst.create("native", 1).unwrap();
+        assert_eq!(
+            dst.adopt(FileId(0x3000), "native", 1).unwrap_err(),
+            StoreError::Exists
+        );
+
+        // Migrating home again: the tombstoned native slot is re-adopted.
+        src.remove(id).unwrap();
+        assert_eq!(src.len(id).unwrap_err(), StoreError::NotFound);
+        src.adopt(id, "hot", 700).unwrap();
+        assert_eq!(src.open("hot").unwrap(), id);
+        src.write_block(id, 0, &[5u8; 512]).unwrap();
+        assert_eq!(src.read_block(id, 0, 512).unwrap(), &[5u8; 512][..]);
     }
 }

@@ -158,6 +158,19 @@ pub fn spawn_file_server(
     store: BlockStore,
 ) -> FileServerTeam {
     let shared = SharedServerState::new(cfg.build_disk(), store);
+    spawn_file_server_shared(cl, host, cfg, shared)
+}
+
+/// [`spawn_file_server`] over caller-built shared state — how
+/// [`crate::migrate::spawn_shard_service`] co-locates a migration agent
+/// with the team it feeds (the agent adopts files into the same store
+/// the workers serve from).
+pub(crate) fn spawn_file_server_shared(
+    cl: &mut Cluster,
+    host: HostId,
+    cfg: FileServerConfig,
+    shared: SharedServerState,
+) -> FileServerTeam {
     let stats = shared.stats.clone();
     let disk = shared.disk.clone();
     if cfg.workers <= 1 {

@@ -13,7 +13,7 @@ proptest! {
     /// field values.
     #[test]
     fn io_request_round_trips(
-        op in 1u8..=8,
+        op in 1u8..=12,
         file in any::<u16>(),
         block in any::<u32>(),
         count in any::<u32>(),
@@ -38,7 +38,7 @@ proptest! {
     /// must never clobber (and vice versa).
     #[test]
     fn io_request_round_trips_with_segment_bits(
-        op in 1u8..=8,
+        op in 1u8..=12,
         file in any::<u16>(),
         block in any::<u32>(),
         count in any::<u32>(),
@@ -68,10 +68,11 @@ proptest! {
     /// Reply encode/decode is the identity for every status code.
     #[test]
     fn io_reply_round_trips(
-        status in 0u8..=5,
+        status in 0u8..=6,
         file in any::<u16>(),
         value in any::<u32>(),
         aux in any::<u32>(),
+        owner in any::<u32>(),
         tag in any::<u16>(),
     ) {
         let reply = IoReply {
@@ -79,6 +80,7 @@ proptest! {
             file: FileId(file),
             value,
             aux,
+            owner,
             tag,
         };
         prop_assert_eq!(IoReply::decode(&reply.encode()), reply);
@@ -89,7 +91,7 @@ proptest! {
 /// decode, pinned so a new status code cannot silently alias.
 #[test]
 fn unknown_status_bytes_decode_as_error() {
-    for b in 6u8..=255 {
+    for b in 7u8..=255 {
         assert_eq!(IoStatus::from_u8(b), IoStatus::Error);
     }
 }
